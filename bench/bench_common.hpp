@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches: run a set of
+ * named configurations over the 11-workload suite and print one metric as
+ * the paper's figure series (plus a CSV next to stdout).
+ */
+#ifndef RMCC_BENCH_COMMON_HPP
+#define RMCC_BENCH_COMMON_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/experiments.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rmcc::bench
+{
+
+/** Metric extracted per (workload, config-index) cell. */
+using Metric = std::function<double(const sim::SuiteRow &, std::size_t)>;
+
+/**
+ * Run every configuration over the suite and emit one table: rows are
+ * workloads (plus a mean row), columns are configurations.
+ *
+ * @param title figure name for the header.
+ * @param csv file name for the CSV copy.
+ * @param configs the configurations, in column order.
+ * @param metric cell extractor.
+ * @param percent render cells as percentages.
+ * @param use_geomean mean row uses geometric mean (performance ratios).
+ */
+inline void
+runAndEmit(const std::string &title, const std::string &csv,
+           std::vector<sim::NamedConfig> configs, const Metric &metric,
+           bool percent = false, bool use_geomean = false)
+{
+    sim::applyFastEnv(configs);
+    std::vector<std::string> headers = {"workload"};
+    for (const auto &nc : configs)
+        headers.push_back(nc.label);
+    util::Table table(title, headers);
+
+    std::vector<std::vector<double>> columns(configs.size());
+    for (const wl::Workload &w : wl::workloadSuite()) {
+        const sim::SuiteRow row = sim::runWorkload(w, configs);
+        std::vector<std::string> cells = {w.name};
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const double v = metric(row, c);
+            columns[c].push_back(v);
+            cells.push_back(percent ? util::fmtPercent(v)
+                                    : util::fmtDouble(v));
+        }
+        table.addRow(cells);
+        // Stream progress: long benches print rows as they finish.
+        std::fputs((title + ": " + w.name + " done\n").c_str(), stderr);
+    }
+    std::vector<std::string> mean_cells = {use_geomean ? "geomean"
+                                                       : "mean"};
+    for (const auto &col : columns) {
+        const double m =
+            use_geomean ? util::geomean(col) : util::mean(col);
+        mean_cells.push_back(percent ? util::fmtPercent(m)
+                                     : util::fmtDouble(m));
+    }
+    table.addRow(mean_cells);
+    table.emit(csv);
+}
+
+/** Performance of config c normalized to config 0 (first column). */
+inline Metric
+perfNormalizedTo0()
+{
+    return [](const sim::SuiteRow &row, std::size_t c) {
+        const double base = row.results[0].perf();
+        return base > 0.0 ? row.results[c].perf() / base : 0.0;
+    };
+}
+
+} // namespace rmcc::bench
+
+#endif // RMCC_BENCH_COMMON_HPP

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Fig 3 reproduction: fraction of LLC misses that also miss the MC's
+ * counter cache, under Morphable Counters in the Pintool-like
+ * configuration (2 MB LLC, 32 KB counter cache, 2 MB huge pages).
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace rmcc;
+    bench::runAndEmit(
+        "Fig 3: counter-cache misses per LLC miss (Morphable)",
+        "fig03.csv",
+        {sim::baselineConfig(sim::SimMode::Functional,
+                             ctr::SchemeKind::Morphable)},
+        [](const sim::SuiteRow &row, std::size_t c) {
+            return row.results[c].counterMissRate();
+        },
+        /*percent=*/true);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fig 4 reproduction: TLB misses (including those for cache-hitting
+ * accesses) normalized to LLC misses, under 4 KB and 2 MB pages.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace rmcc;
+    auto small = sim::baselineConfig(sim::SimMode::Functional,
+                                     ctr::SchemeKind::Morphable);
+    small.label = "4KB pages";
+    small.cfg.page_mode = addr::PageMode::Small4K;
+    auto huge = small;
+    huge.label = "2MB pages";
+    huge.cfg.page_mode = addr::PageMode::Huge2M;
+    bench::runAndEmit(
+        "Fig 4: TLB misses per LLC miss", "fig04.csv", {small, huge},
+        [](const sim::SuiteRow &row, std::size_t c) {
+            return row.results[c].tlbMissPerLlcMiss();
+        },
+        /*percent=*/true);
+    return 0;
+}

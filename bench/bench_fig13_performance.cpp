@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fig 13 reproduction (the headline result): performance of SC-64,
+ * Morphable Counters, and RMCC, normalized to a non-secure memory
+ * system.  The paper reports RMCC improving average performance by 6%
+ * over Morphable.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace rmcc;
+    bench::runAndEmit(
+        "Fig 13: performance normalized to non-secure", "fig13.csv",
+        {sim::nonSecureConfig(sim::SimMode::Timing),
+         sim::baselineConfig(sim::SimMode::Timing, ctr::SchemeKind::SC64),
+         sim::baselineConfig(sim::SimMode::Timing,
+                             ctr::SchemeKind::Morphable),
+         sim::rmccConfig(sim::SimMode::Timing)},
+        bench::perfNormalizedTo0(), /*percent=*/false,
+        /*use_geomean=*/true);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fig 14 reproduction: average LLC miss latency (ns) under SC-64,
+ * Morphable, RMCC, and the non-secure system.  The paper reports RMCC
+ * saving 5.0 ns on average over Morphable.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace rmcc;
+    bench::runAndEmit(
+        "Fig 14: average LLC miss latency (ns)", "fig14.csv",
+        {sim::baselineConfig(sim::SimMode::Timing, ctr::SchemeKind::SC64),
+         sim::baselineConfig(sim::SimMode::Timing,
+                             ctr::SchemeKind::Morphable),
+         sim::rmccConfig(sim::SimMode::Timing),
+         sim::nonSecureConfig(sim::SimMode::Timing)},
+        [](const sim::SuiteRow &row, std::size_t c) {
+            return row.results[c].avgReadLatencyNs();
+        });
+    return 0;
+}

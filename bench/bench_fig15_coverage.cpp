@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Fig 15 reproduction: average number of memory blocks covered by each
+ * counter value in the memoization table at the end of each workload's
+ * lifetime run.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace rmcc;
+    bench::runAndEmit(
+        "Fig 15: avg blocks covered per memoized counter value",
+        "fig15.csv", {sim::rmccConfig(sim::SimMode::Functional)},
+        [](const sim::SuiteRow &row, std::size_t c) {
+            return row.results[c].stats.get("rmcc.avg_coverage_l0");
+        });
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fig 19 reproduction: memoization hit rate across the whole lifetime
+ * (all counter uses, hit or miss in the counter cache) under 1%, 2%,
+ * and 8% bandwidth-overhead budgets.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace rmcc;
+    std::vector<sim::NamedConfig> configs;
+    for (const double pct : {0.01, 0.02, 0.08}) {
+        auto nc = sim::rmccConfig(sim::SimMode::Functional);
+        nc.label = util::fmtDouble(pct * 100, 0) + "% budget";
+        nc.cfg.rmcc_cfg.budget.fraction = pct;
+        configs.push_back(nc);
+    }
+    bench::runAndEmit("Fig 19: memoization hit rate by overhead budget",
+                      "fig19.csv", configs,
+                      [](const sim::SuiteRow &row, std::size_t c) {
+                          return row.results[c].memoHitRateAll();
+                      },
+                      /*percent=*/true);
+    return 0;
+}

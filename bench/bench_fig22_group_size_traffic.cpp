@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fig 22 reproduction: memory traffic overhead vs Morphable under group
+ * sizes 4, 8, and 16, at the 1% budget.  The paper finds size 16 incurs
+ * the least overhead (longer +1 runs before crossing group boundaries).
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace rmcc;
+    std::vector<sim::NamedConfig> configs = {
+        sim::baselineConfig(sim::SimMode::Functional,
+                            ctr::SchemeKind::Morphable)};
+    for (const unsigned gs : {4u, 8u, 16u}) {
+        auto nc = sim::rmccConfig(sim::SimMode::Functional);
+        nc.label = "group size " + std::to_string(gs);
+        nc.cfg.rmcc_cfg.memo.group_size = gs;
+        nc.cfg.rmcc_cfg.memo.groups = 128 / gs;
+        configs.push_back(nc);
+    }
+    bench::runAndEmit(
+        "Fig 22: traffic overhead vs Morphable, by group size",
+        "fig22.csv", configs,
+        [](const sim::SuiteRow &row, std::size_t c) {
+            if (c == 0)
+                return 0.0;
+            const double base = row.results[0].dramAccesses();
+            return base > 0
+                       ? row.results[c].dramAccesses() / base - 1.0
+                       : 0.0;
+        },
+        /*percent=*/true);
+    return 0;
+}

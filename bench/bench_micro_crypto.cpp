@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): AES, CLMUL, GF multiply, the two
+ * OTP constructions, and MAC generation — the datapath primitives whose
+ * hardware latencies Table I parameterizes.
+ */
+#include <benchmark/benchmark.h>
+
+#include "crypto/mac.hpp"
+#include "crypto/otp.hpp"
+
+using namespace rmcc::crypto;
+
+static void
+BM_Aes128Encrypt(benchmark::State &state)
+{
+    const Aes aes = Aes::fromSeed(1);
+    Block128 b = makeBlock(1, 2);
+    for (auto _ : state) {
+        b = aes.encrypt(b);
+        benchmark::DoNotOptimize(b);
+    }
+}
+BENCHMARK(BM_Aes128Encrypt);
+
+static void
+BM_Aes256Encrypt(benchmark::State &state)
+{
+    const Aes aes = Aes::fromSeed(1, Aes::KeySize::k256);
+    Block128 b = makeBlock(1, 2);
+    for (auto _ : state) {
+        b = aes.encrypt(b);
+        benchmark::DoNotOptimize(b);
+    }
+}
+BENCHMARK(BM_Aes256Encrypt);
+
+static void
+BM_Clmul128(benchmark::State &state)
+{
+    Block128 a = makeBlock(0x0123456789abcdefULL, 0xfedcba9876543210ULL);
+    const Block128 b = makeBlock(0xdeadbeefULL, 0xcafebabeULL);
+    for (auto _ : state) {
+        const U256 p = clmul128(a, b);
+        benchmark::DoNotOptimize(p);
+        a[0] ^= static_cast<std::uint8_t>(p.limb[0]);
+    }
+}
+BENCHMARK(BM_Clmul128);
+
+static void
+BM_TruncmulCombine(benchmark::State &state)
+{
+    Block128 a = makeBlock(1, 2), b = makeBlock(3, 4);
+    for (auto _ : state) {
+        a = truncmulMiddle(a, b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_TruncmulCombine);
+
+static void
+BM_Gf128Mul(benchmark::State &state)
+{
+    Block128 a = makeBlock(1, 2);
+    const Block128 b = makeBlock(3, 4);
+    for (auto _ : state) {
+        a = gf128Mul(a, b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_Gf128Mul);
+
+static void
+BM_BaselineOtp(benchmark::State &state)
+{
+    const BaselineOtpEngine otp(Aes::fromSeed(1), Aes::fromSeed(2));
+    std::uint64_t ctr = 0;
+    for (auto _ : state) {
+        const Block128 pad = otp.encryptionOtp(0x1000, 0, ++ctr);
+        benchmark::DoNotOptimize(pad);
+    }
+}
+BENCHMARK(BM_BaselineOtp);
+
+static void
+BM_RmccOtpFull(benchmark::State &state)
+{
+    const RmccOtpEngine otp(Aes::fromSeed(1), Aes::fromSeed(2));
+    std::uint64_t ctr = 0;
+    for (auto _ : state) {
+        const Block128 pad = otp.encryptionOtp(0x1000, 0, ++ctr);
+        benchmark::DoNotOptimize(pad);
+    }
+}
+BENCHMARK(BM_RmccOtpFull);
+
+static void
+BM_RmccOtpMemoized(benchmark::State &state)
+{
+    // The memoized path: counter-only AES precomputed, combine only.
+    const RmccOtpEngine otp(Aes::fromSeed(1), Aes::fromSeed(2));
+    const Block128 ctr_only = otp.counterOnlyEnc(12345);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        const Block128 pad = RmccOtpEngine::combine(
+            ctr_only, otp.addressOnlyEnc(addr += 64, 0));
+        benchmark::DoNotOptimize(pad);
+    }
+}
+BENCHMARK(BM_RmccOtpMemoized);
+
+static void
+BM_Mac64B(benchmark::State &state)
+{
+    const MacEngine mac(1);
+    const RmccOtpEngine otp(Aes::fromSeed(1), Aes::fromSeed(2));
+    const Block128 pad = otp.macOtp(0x1000, 5);
+    DataBlock block;
+    for (unsigned w = 0; w < kWordsPerBlock; ++w)
+        block[w] = makeBlock(w, w + 1);
+    for (auto _ : state) {
+        const std::uint64_t m = mac.mac(block, pad);
+        benchmark::DoNotOptimize(m);
+    }
+}
+BENCHMARK(BM_Mac64B);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): memoization-table lookup/insert,
+ * candidate-monitor observation, and counter-scheme write paths — the
+ * per-access software costs of the simulator itself.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/candidate_monitor.hpp"
+#include "core/memo_table.hpp"
+#include "counters/morphable.hpp"
+#include "util/rng.hpp"
+
+using namespace rmcc;
+
+static void
+BM_MemoLookupHit(benchmark::State &state)
+{
+    core::MemoTable table;
+    for (unsigned g = 0; g < 16; ++g)
+        table.insertGroup(1000 + 8 * g);
+    std::uint64_t v = 1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.lookupRead(1000 + (v++ % 128)));
+    }
+}
+BENCHMARK(BM_MemoLookupHit);
+
+static void
+BM_MemoLookupMiss(benchmark::State &state)
+{
+    core::MemoTable table;
+    for (unsigned g = 0; g < 16; ++g)
+        table.insertGroup(1000 + 8 * g);
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.lookupRead(v++ % 900));
+    }
+}
+BENCHMARK(BM_MemoLookupMiss);
+
+static void
+BM_MemoNearestAbove(benchmark::State &state)
+{
+    core::MemoTable table;
+    for (unsigned g = 0; g < 16; ++g)
+        table.insertGroup(1000 + 64 * g);
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.nearestAbove(v++ % 2048));
+    }
+}
+BENCHMARK(BM_MemoNearestAbove);
+
+static void
+BM_MonitorObserve(benchmark::State &state)
+{
+    core::CandidateMonitor monitor;
+    monitor.arm(1000);
+    std::uint64_t v = 0;
+    for (auto _ : state)
+        monitor.observeRead(900 + (v++ % 300));
+}
+BENCHMARK(BM_MonitorObserve);
+
+static void
+BM_MorphableWritePlusOne(benchmark::State &state)
+{
+    ctr::MorphableScheme scheme(1 << 14);
+    util::Rng rng(1);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const std::uint64_t idx = (i += 127) & ((1 << 14) - 1);
+        scheme.write(idx, scheme.read(idx) + 1);
+    }
+}
+BENCHMARK(BM_MorphableWritePlusOne);
+
+static void
+BM_MorphableEncodableCheck(benchmark::State &state)
+{
+    ctr::MorphableScheme scheme(1 << 14);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const std::uint64_t idx = (i += 127) & ((1 << 14) - 1);
+        benchmark::DoNotOptimize(
+            scheme.encodable(idx, scheme.read(idx) + 1));
+    }
+}
+BENCHMARK(BM_MorphableEncodableCheck);
+
+BENCHMARK_MAIN();

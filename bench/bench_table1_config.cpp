@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Table I reproduction: print the full system configuration used by the
+ * timing experiments.
+ */
+#include <cstdio>
+
+#include "sim/system_config.hpp"
+
+int
+main()
+{
+    using namespace rmcc::sim;
+    std::puts("== Table I: System Configuration ==");
+    SystemConfig cfg = SystemConfig::timingDefault();
+    cfg.rmcc = true;
+    std::fputs(cfg.describe().c_str(), stdout);
+    std::puts("\n== Pintool-like lifetime-characterization preset ==");
+    std::fputs(SystemConfig::functionalDefault().describe().c_str(),
+               stdout);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The paper's motivating study in miniature: compare an irregular
+ * workload (canneal) against a regular one (mcf) across the non-secure,
+ * Morphable, and RMCC configurations, showing why counter misses hurt
+ * irregular workloads and how memoization wins the latency back.
+ */
+#include <cstdio>
+
+#include "sim/experiments.hpp"
+
+using namespace rmcc;
+using namespace rmcc::sim;
+
+int
+main()
+{
+    std::vector<NamedConfig> configs = {
+        nonSecureConfig(SimMode::Timing),
+        baselineConfig(SimMode::Timing, ctr::SchemeKind::Morphable),
+        rmccConfig(SimMode::Timing),
+    };
+    // Keep the example snappy.
+    for (auto &nc : configs) {
+        nc.cfg.trace_records = 400000;
+        nc.cfg.warmup_records = 200000;
+    }
+
+    for (const char *name : {"canneal", "mcf"}) {
+        const wl::Workload *w = wl::findWorkload(name);
+        std::printf("== %s ==\n", name);
+        const SuiteRow row = runWorkload(*w, configs);
+        const double base = row.results[0].perf();
+        for (const SimResult &r : row.results) {
+            std::printf("  %-11s perf %.2fx non-secure | LLC miss "
+                        "latency %5.1f ns | counter miss %5.1f%%",
+                        r.config_label.c_str(),
+                        base > 0 ? r.perf() / base : 0,
+                        r.avgReadLatencyNs(),
+                        r.counterMissRate() * 100);
+            if (r.config_label == "RMCC")
+                std::printf(" | %4.1f%% of misses accelerated",
+                            r.acceleratedMissRate() * 100);
+            std::puts("");
+        }
+        const double morph = row.results[1].perf();
+        const double rmcc_perf = row.results[2].perf();
+        std::printf("  -> RMCC vs Morphable: %+.1f%%\n\n",
+                    (rmcc_perf / morph - 1.0) * 100);
+    }
+    std::puts("Irregular workloads (canneal) suffer frequent counter "
+              "misses, so memoizing\nhot counter values wins back most "
+              "of the serialized AES latency; regular\nworkloads (mcf) "
+              "rarely miss counters and are unaffected either way.");
+    return 0;
+}

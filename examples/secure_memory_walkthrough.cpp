@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Walkthrough of the secure memory controller: issue reads and writes
+ * against the full model (integrity tree, counter cache, DRAM timing,
+ * RMCC engine) and narrate what each access costs and why.
+ */
+#include <cstdio>
+
+#include "core/rmcc_engine.hpp"
+#include "counters/tree.hpp"
+#include "dram/ddr4.hpp"
+#include "mc/secure_mc.hpp"
+#include "util/rng.hpp"
+
+using namespace rmcc;
+
+namespace
+{
+
+void
+narrate(const char *what, const mc::McReadResult &r, double issued_ns)
+{
+    std::printf("%-34s latency %5.1f ns  [counter %s%s%s]\n", what,
+                r.done_ns - issued_ns, r.counter_miss ? "miss" : "hit",
+                r.memo_hit ? ", memoized" : "",
+                r.accelerated ? ", accelerated" : "");
+}
+
+} // namespace
+
+int
+main()
+{
+    // Build a 64 MB protected region under Morphable + RMCC.
+    ctr::IntegrityTree tree(ctr::SchemeKind::Morphable,
+                            (64ULL << 20) / addr::kBlockSize);
+    util::Rng rng(1);
+    tree.randomInit(rng, 100000);
+
+    core::RmccConfig rmcc_cfg;
+    rmcc_cfg.budget.initial_pool_accesses = 1e6;
+    core::RmccEngine engine(rmcc_cfg, tree);
+    dram::Ddr4 dram;
+    mc::SecureMc mc(mc::McConfig{}, tree, engine, dram);
+
+    std::puts("== secure read/write walkthrough (Morphable + RMCC) ==\n");
+    double now = 0.0;
+
+    // Cold read: everything misses, the whole tree is walked.
+    auto r = mc.read(0x100000, now);
+    narrate("cold read (full tree walk)", r, now);
+    now = r.done_ns + 100;
+
+    // Neighbouring read: the counter block is now cached.
+    r = mc.read(0x100040, now);
+    narrate("neighbour read (counter hit)", r, now);
+    now = r.done_ns + 100;
+
+    // Far read, counters not cached and value not memoized yet.
+    r = mc.read(0x2000000, now);
+    narrate("far read (counter miss)", r, now);
+    now = r.done_ns + 100;
+
+    // Teach the memoization table the hot counter value, then relevel
+    // another far block onto it, as RMCC's update policy would.
+    engine.table(0).insertGroup(tree.observedMax() - 7);
+    tree.level(0).relevelBlock(addr::blockOf(0x3000000),
+                               tree.observedMax());
+    r = mc.read(0x3000000, now);
+    narrate("far read (counter miss, memoized)", r, now);
+    now = r.done_ns + 100;
+
+    // Writes are posted: the counter bumps, data re-encrypts, and the
+    // core only stalls if the overflow engine is saturated.
+    const addr::BlockId blk = addr::blockOf(0x100000);
+    const auto ctr_before = tree.level(0).read(blk);
+    const double stall = mc.write(0x100000, now);
+    std::printf("%-34s counter %llu -> %llu, core stall %.1f ns\n",
+                "writeback", static_cast<unsigned long long>(ctr_before),
+                static_cast<unsigned long long>(tree.level(0).read(blk)),
+                stall - now);
+
+    std::puts("\n== controller statistics ==");
+    for (const auto &[name, value] : mc.stats().all())
+        if (value != 0)
+            std::printf("  %-28s %.0f\n", name.c_str(), value);
+    return 0;
+}

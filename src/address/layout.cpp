@@ -1,0 +1,52 @@
+#include "address/layout.hpp"
+
+#include <cassert>
+
+namespace rmcc::addr
+{
+
+MemoryLayout::MemoryLayout(std::uint64_t data_bytes,
+                           unsigned blocks_per_counter_block,
+                           unsigned tree_arity)
+    : data_blocks_((data_bytes + kBlockSize - 1) / kBlockSize),
+      blocks_per_cb_(blocks_per_counter_block),
+      tree_arity_(tree_arity)
+{
+    assert(blocks_per_cb_ > 0 && tree_arity_ > 1);
+    // L0: one counter block per blocks_per_cb_ data blocks; higher levels
+    // shrink by the tree arity until at most eight blocks remain, whose
+    // own counters fit in on-chip root registers (SGX-style).  128 GB
+    // under 128-ary coverage therefore gets the paper's four-level tree.
+    std::uint64_t blocks =
+        (data_blocks_ + blocks_per_cb_ - 1) / blocks_per_cb_;
+    while (true) {
+        level_blocks_.push_back(blocks);
+        if (blocks <= 8)
+            break;
+        blocks = (blocks + tree_arity_ - 1) / tree_arity_;
+    }
+    counter_base_ = data_blocks_ * kBlockSize;
+    Addr base = counter_base_;
+    for (auto n : level_blocks_) {
+        level_base_.push_back(base);
+        base += n * kBlockSize;
+    }
+}
+
+Addr
+MemoryLayout::counterBlockAddr(unsigned level, CounterBlockId cb) const
+{
+    assert(level < level_blocks_.size() && cb < level_blocks_[level]);
+    return level_base_[level] + cb * kBlockSize;
+}
+
+std::uint64_t
+MemoryLayout::totalBytes() const
+{
+    std::uint64_t blocks = data_blocks_;
+    for (auto n : level_blocks_)
+        blocks += n;
+    return blocks * kBlockSize;
+}
+
+} // namespace rmcc::addr

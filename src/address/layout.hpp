@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Physical address-space layout for the secure-memory model: where data,
+ * counter blocks, MACs, and integrity-tree levels live.
+ *
+ * Like Morphable Counters, data and its MAC (and ECC) are co-located in the
+ * same DRAM access, so MACs need no separate address range.  Counter blocks
+ * for level 0 (protecting data) and higher tree levels occupy dedicated
+ * regions above the data region, as in SGX's metadata layout.
+ */
+#ifndef RMCC_ADDRESS_LAYOUT_HPP
+#define RMCC_ADDRESS_LAYOUT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "address/types.hpp"
+
+namespace rmcc::addr
+{
+
+/**
+ * Address-space layout parameterized by protected-data size and tree arity.
+ */
+class MemoryLayout
+{
+  public:
+    /**
+     * @param data_bytes size of the protected data region (rounded up to a
+     *        whole number of blocks).
+     * @param blocks_per_counter_block coverage of one L0 counter block
+     *        (128 for Morphable, 64 for SC-64, 8 for SGX monolithic).
+     * @param tree_arity children per integrity-tree node above L0.
+     */
+    MemoryLayout(std::uint64_t data_bytes,
+                 unsigned blocks_per_counter_block,
+                 unsigned tree_arity);
+
+    /** Number of protected data blocks. */
+    std::uint64_t dataBlocks() const { return data_blocks_; }
+
+    /** Number of integrity-tree levels that live in memory (L0..Ln-1). */
+    unsigned levels() const
+    {
+        return static_cast<unsigned>(level_blocks_.size());
+    }
+
+    /** Number of counter blocks at a level (0 = data counters). */
+    std::uint64_t levelBlocks(unsigned level) const
+    {
+        return level_blocks_[level];
+    }
+
+    /** L0 counter block protecting a data block. */
+    CounterBlockId counterBlockOf(BlockId data_block) const
+    {
+        return data_block / blocks_per_cb_;
+    }
+
+    /** Parent counter block (at level+1) of a counter block at level. */
+    CounterBlockId parentOf(CounterBlockId cb) const
+    {
+        return cb / tree_arity_;
+    }
+
+    /**
+     * Physical byte address of a counter block, used to place counter
+     * fetches in the DRAM model and to index the counter cache.  Counter
+     * regions start right after the data region, one region per level.
+     */
+    Addr counterBlockAddr(unsigned level, CounterBlockId cb) const;
+
+    /** Inverse of counterBlockAddr: true if addr is in a counter region. */
+    bool isCounterAddr(Addr a) const { return a >= counter_base_; }
+
+    /** Coverage of one L0 counter block, in data blocks. */
+    unsigned blocksPerCounterBlock() const { return blocks_per_cb_; }
+
+    /** Tree arity above L0. */
+    unsigned treeArity() const { return tree_arity_; }
+
+    /** Total physical footprint (data + all counter levels), bytes. */
+    std::uint64_t totalBytes() const;
+
+  private:
+    std::uint64_t data_blocks_;
+    unsigned blocks_per_cb_;
+    unsigned tree_arity_;
+    Addr counter_base_;
+    std::vector<std::uint64_t> level_blocks_;
+    std::vector<Addr> level_base_;
+};
+
+} // namespace rmcc::addr
+
+#endif // RMCC_ADDRESS_LAYOUT_HPP

@@ -1,0 +1,52 @@
+#include "address/page_mapper.hpp"
+
+#include "util/log.hpp"
+
+namespace rmcc::addr
+{
+
+PageMapper::PageMapper(PageMode mode, std::uint64_t phys_bytes,
+                       std::uint64_t seed)
+    : mode_(mode), rng_(seed)
+{
+    phys_pages_ = phys_bytes / pageSize();
+    if (phys_pages_ == 0)
+        util::fatal("PageMapper: physical size smaller than one page");
+}
+
+Addr
+PageMapper::translate(Addr vaddr)
+{
+    const std::uint64_t vpn = pageOf(vaddr);
+    auto it = table_.find(vpn);
+    if (it == table_.end()) {
+        std::uint64_t frame;
+        if (mode_ == PageMode::Huge2M) {
+            // Contiguous allocation: huge pages come from a bump pointer,
+            // so adjacent virtual pages stay adjacent physically.
+            frame = next_frame_++;
+        } else {
+            // Fragmented allocation: pick a random unused frame, emulating
+            // a long-running system's scattered 4 KB frame pool.
+            if (free_frames_.empty()) {
+                free_frames_.reserve(phys_pages_);
+                for (std::uint64_t f = 0; f < phys_pages_; ++f)
+                    free_frames_.push_back(f);
+                // Fisher-Yates shuffle.
+                for (std::uint64_t i = phys_pages_ - 1; i > 0; --i) {
+                    const auto j = rng_.nextBelow(i + 1);
+                    std::swap(free_frames_[i], free_frames_[j]);
+                }
+            }
+            if (next_frame_ >= free_frames_.size())
+                util::fatal("PageMapper: out of physical frames");
+            frame = free_frames_[next_frame_++];
+        }
+        if (next_frame_ > phys_pages_)
+            util::fatal("PageMapper: out of physical frames");
+        it = table_.emplace(vpn, frame).first;
+    }
+    return it->second * pageSize() + vaddr % pageSize();
+}
+
+} // namespace rmcc::addr

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fundamental address-space types shared across the memory-system model.
+ */
+#ifndef RMCC_ADDRESS_TYPES_HPP
+#define RMCC_ADDRESS_TYPES_HPP
+
+#include <cstdint>
+
+namespace rmcc::addr
+{
+
+/** A byte address (virtual or physical depending on context). */
+using Addr = std::uint64_t;
+
+/** Index of a 64 B memory block (physical address / 64). */
+using BlockId = std::uint64_t;
+
+/** Index of a counter block at some integrity-tree level. */
+using CounterBlockId = std::uint64_t;
+
+/** A 56-bit logical write-counter value (stored widened to 64 bits). */
+using CounterValue = std::uint64_t;
+
+/** Picoseconds; the base time unit of all timing models. */
+using Tick = std::uint64_t;
+
+/** Bytes per memory block / cache line. */
+constexpr std::uint64_t kBlockSize = 64;
+
+/** log2(kBlockSize). */
+constexpr unsigned kBlockShift = 6;
+
+/** Bytes per small (4 KB) page. */
+constexpr std::uint64_t kSmallPageSize = 4096;
+
+/** Bytes per huge (2 MB) page. */
+constexpr std::uint64_t kHugePageSize = 2 * 1024 * 1024;
+
+/** Block index containing a byte address. */
+constexpr BlockId blockOf(Addr a) { return a >> kBlockShift; }
+
+/** First byte address of a block. */
+constexpr Addr blockBase(BlockId b) { return b << kBlockShift; }
+
+/** Convert nanoseconds to ticks (1 tick = 1 ps). */
+constexpr Tick fromNs(double ns)
+{
+    return static_cast<Tick>(ns * 1000.0);
+}
+
+/** Convert ticks to nanoseconds. */
+constexpr double toNs(Tick t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+} // namespace rmcc::addr
+
+#endif // RMCC_ADDRESS_TYPES_HPP

@@ -1,0 +1,146 @@
+#include "cache/set_assoc.hpp"
+
+#include "util/log.hpp"
+
+namespace rmcc::cache
+{
+
+SetAssocCache::SetAssocCache(std::string name, std::uint64_t size_bytes,
+                             unsigned assoc, unsigned line_bytes,
+                             ReplPolicy policy)
+    : name_(std::move(name)), assoc_(assoc), line_(line_bytes),
+      policy_(policy)
+{
+    if (assoc_ == 0 || line_ == 0 ||
+        size_bytes % (static_cast<std::uint64_t>(assoc_) * line_) != 0) {
+        util::fatal("cache %s: size %llu not divisible by assoc*line",
+                    name_.c_str(),
+                    static_cast<unsigned long long>(size_bytes));
+    }
+    sets_count_ = size_bytes / (static_cast<std::uint64_t>(assoc_) * line_);
+    lines_.resize(sets_count_ * assoc_);
+}
+
+std::uint64_t
+SetAssocCache::setIndex(addr::Addr a) const
+{
+    return (a / line_) % sets_count_;
+}
+
+int
+SetAssocCache::findWay(std::uint64_t set, addr::Addr tag) const
+{
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Line &l = lines_[set * assoc_ + w];
+        if (l.valid && l.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+unsigned
+SetAssocCache::victimWay(std::uint64_t set) const
+{
+    // Invalid ways first; otherwise smallest recency (LRU) or insertion
+    // order (FIFO — lru field records fill time in that mode).
+    unsigned victim = 0;
+    std::uint64_t best = ~0ULL;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Line &l = lines_[set * assoc_ + w];
+        if (!l.valid)
+            return w;
+        if (l.lru < best) {
+            best = l.lru;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+AccessResult
+SetAssocCache::access(addr::Addr a, bool is_write)
+{
+    const addr::Addr tag = tagOf(a);
+    const std::uint64_t set = setIndex(a);
+    ++clock_;
+    const int way = findWay(set, tag);
+    if (way >= 0) {
+        Line &l = lines_[set * assoc_ + static_cast<unsigned>(way)];
+        if (policy_ == ReplPolicy::LRU)
+            l.lru = clock_;
+        l.dirty = l.dirty || is_write;
+        ++hits_;
+        return {true, false, false, 0};
+    }
+    ++misses_;
+    AccessResult res = fill(a, is_write);
+    res.hit = false;
+    return res;
+}
+
+AccessResult
+SetAssocCache::fill(addr::Addr a, bool dirty)
+{
+    const addr::Addr tag = tagOf(a);
+    const std::uint64_t set = setIndex(a);
+    ++clock_;
+    const int existing = findWay(set, tag);
+    if (existing >= 0) {
+        Line &l = lines_[set * assoc_ + static_cast<unsigned>(existing)];
+        l.dirty = l.dirty || dirty;
+        if (policy_ == ReplPolicy::LRU)
+            l.lru = clock_;
+        return {true, false, false, 0};
+    }
+    const unsigned way = victimWay(set);
+    Line &l = lines_[set * assoc_ + way];
+    AccessResult res;
+    if (l.valid) {
+        res.evicted = true;
+        res.writeback = l.dirty;
+        res.victim_addr = l.tag * line_;
+        if (l.dirty)
+            ++writebacks_;
+    }
+    l.valid = true;
+    l.tag = tag;
+    l.dirty = dirty;
+    l.lru = clock_;
+    return res;
+}
+
+bool
+SetAssocCache::probe(addr::Addr a) const
+{
+    return findWay(setIndex(a), tagOf(a)) >= 0;
+}
+
+bool
+SetAssocCache::invalidate(addr::Addr a)
+{
+    const int way = findWay(setIndex(a), tagOf(a));
+    if (way < 0)
+        return false;
+    Line &l = lines_[setIndex(a) * assoc_ + static_cast<unsigned>(way)];
+    const bool was_dirty = l.dirty;
+    l.valid = false;
+    l.dirty = false;
+    return was_dirty;
+}
+
+void
+SetAssocCache::touchDirty(addr::Addr a)
+{
+    const int way = findWay(setIndex(a), tagOf(a));
+    if (way >= 0)
+        lines_[setIndex(a) * assoc_ + static_cast<unsigned>(way)].dirty =
+            true;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    hits_ = misses_ = writebacks_ = 0;
+}
+
+} // namespace rmcc::cache

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Generic set-associative writeback cache model.
+ *
+ * Used for the CPU cache hierarchy (L1D/L2/LLC), the memory controller's
+ * counter cache (which holds L0 counter blocks and integrity-tree nodes),
+ * and — with a different line "address" space — the TLB.
+ */
+#ifndef RMCC_CACHE_SET_ASSOC_HPP
+#define RMCC_CACHE_SET_ASSOC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "address/types.hpp"
+
+namespace rmcc::cache
+{
+
+/** Replacement policy for a set-associative cache. */
+enum class ReplPolicy
+{
+    LRU,  //!< Least-recently-used (default everywhere in the paper).
+    FIFO, //!< Insertion order; used in ablation tests.
+};
+
+/** Outcome of a cache access. */
+struct AccessResult
+{
+    bool hit = false;            //!< Line present before the access.
+    bool evicted = false;        //!< A valid line was displaced.
+    bool writeback = false;      //!< The displaced line was dirty.
+    addr::Addr victim_addr = 0;  //!< Base address of the displaced line.
+};
+
+/**
+ * Set-associative cache with allocate-on-miss and writeback semantics.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param name stat label.
+     * @param size_bytes total capacity; must be divisible by
+     *        assoc * line_bytes.
+     * @param assoc ways per set.
+     * @param line_bytes line size (64 for all caches in the paper).
+     * @param policy replacement policy.
+     */
+    SetAssocCache(std::string name, std::uint64_t size_bytes, unsigned assoc,
+                  unsigned line_bytes = addr::kBlockSize,
+                  ReplPolicy policy = ReplPolicy::LRU);
+
+    /**
+     * Access (and allocate on miss) the line containing address a.
+     * Writes mark the line dirty.
+     */
+    AccessResult access(addr::Addr a, bool is_write);
+
+    /** Insert without an access (e.g. prefetch fill); returns eviction. */
+    AccessResult fill(addr::Addr a, bool dirty);
+
+    /** True if the line is present; does not update recency. */
+    bool probe(addr::Addr a) const;
+
+    /** Drop the line if present; returns true if it was dirty. */
+    bool invalidate(addr::Addr a);
+
+    /** Mark the line dirty if present (e.g. in-place metadata update). */
+    void touchDirty(addr::Addr a);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+
+    std::uint64_t sizeBytes() const { return sets_count_ * assoc_ * line_; }
+    unsigned associativity() const { return assoc_; }
+    std::uint64_t sets() const { return sets_count_; }
+    const std::string &name() const { return name_; }
+
+    /** Reset statistics (state is kept); used after warm-up. */
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        addr::Addr tag = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t setIndex(addr::Addr a) const;
+    addr::Addr tagOf(addr::Addr a) const { return a / line_; }
+
+    /** Find the way holding tag, or -1. */
+    int findWay(std::uint64_t set, addr::Addr tag) const;
+
+    /** Pick a victim way in the set according to the policy. */
+    unsigned victimWay(std::uint64_t set) const;
+
+    std::string name_;
+    std::uint64_t sets_count_;
+    unsigned assoc_;
+    unsigned line_;
+    ReplPolicy policy_;
+    std::vector<Line> lines_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0, misses_ = 0, writebacks_ = 0;
+};
+
+} // namespace rmcc::cache
+
+#endif // RMCC_CACHE_SET_ASSOC_HPP

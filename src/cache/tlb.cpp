@@ -1,0 +1,20 @@
+#include "cache/tlb.hpp"
+
+namespace rmcc::cache
+{
+
+Tlb::Tlb(unsigned entries, unsigned assoc, std::uint64_t page_bytes)
+    : page_bytes_(page_bytes),
+      // Model each entry as one "line" of size 1 in a page-number space.
+      cache_("TLB", static_cast<std::uint64_t>(entries), assoc, 1)
+{
+}
+
+bool
+Tlb::access(addr::Addr vaddr)
+{
+    const addr::Addr vpn = vaddr / page_bytes_;
+    return cache_.access(vpn, false).hit;
+}
+
+} // namespace rmcc::cache

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * TLB model for the Fig 4 study: 1536-entry TLB under 4 KB and 2 MB pages.
+ */
+#ifndef RMCC_CACHE_TLB_HPP
+#define RMCC_CACHE_TLB_HPP
+
+#include <cstdint>
+
+#include "address/page_mapper.hpp"
+#include "cache/set_assoc.hpp"
+
+namespace rmcc::cache
+{
+
+/**
+ * Set-associative TLB keyed by virtual page number.
+ */
+class Tlb
+{
+  public:
+    /**
+     * @param entries total entries (1536 in Table I).
+     * @param assoc associativity.
+     * @param page_bytes page size this TLB covers.
+     */
+    Tlb(unsigned entries, unsigned assoc, std::uint64_t page_bytes);
+
+    /** Look up the page of vaddr; allocates on miss. Returns hit. */
+    bool access(addr::Addr vaddr);
+
+    std::uint64_t hits() const { return cache_.hits(); }
+    std::uint64_t misses() const { return cache_.misses(); }
+
+    void resetStats() { cache_.resetStats(); }
+
+  private:
+    std::uint64_t page_bytes_;
+    SetAssocCache cache_;
+};
+
+} // namespace rmcc::cache
+
+#endif // RMCC_CACHE_TLB_HPP

@@ -1,0 +1,29 @@
+#include "core/area.hpp"
+
+namespace rmcc::core
+{
+
+AreaReport
+computeArea(const MemoConfig &cfg)
+{
+    AreaReport r{};
+    // 32 B per memoized value: 16 B decryption AES + 16 B MAC AES.
+    r.table_bytes = static_cast<std::uint64_t>(cfg.entries()) * 32;
+    // 16 B-wide frequency/monitor counters: one per current group, one per
+    // shadow group, and one per monitored new-group candidate (31 rungs),
+    // rounded to the paper's 64-counter provision.
+    const std::uint64_t counters =
+        cfg.groups + cfg.shadow_groups + 32;
+    r.freq_counter_bytes = counters * 16;
+    // Truncated 128x128 -> 128 carry-less multiplier (Sec IV-E).
+    r.clmul_xor_gates = 12 * 1024;
+    r.clmul_inverters = 16 * 1024;
+    // XOR = 2 SRAM cells, inverter = 0.5; 8 cells per byte.
+    r.clmul_sram_equiv_bytes =
+        (r.clmul_xor_gates * 2 + r.clmul_inverters / 2) / 8;
+    r.xor_depth = 7;      // log2(128)
+    r.inverter_depth = 3; // ~log4(128)
+    return r;
+}
+
+} // namespace rmcc::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Area-overhead accounting for RMCC hardware (paper Sec IV-E).
+ */
+#ifndef RMCC_CORE_AREA_HPP
+#define RMCC_CORE_AREA_HPP
+
+#include <cstdint>
+
+#include "core/memo_table.hpp"
+
+namespace rmcc::core
+{
+
+/** Area/latency accounting for one memoization table + multiplier. */
+struct AreaReport
+{
+    std::uint64_t table_bytes;        //!< AES-result storage.
+    std::uint64_t freq_counter_bytes; //!< Use-frequency counters.
+    std::uint64_t clmul_xor_gates;    //!< Carry-less multiplier XORs.
+    std::uint64_t clmul_inverters;    //!< Fan-out inverters.
+    std::uint64_t clmul_sram_equiv_bytes; //!< Gate area in SRAM-cell terms.
+    unsigned xor_depth;               //!< Multiplier XOR-tree depth.
+    unsigned inverter_depth;          //!< Fan-out inverter depth.
+
+    /** Everything, in bytes of SRAM-equivalent area. */
+    std::uint64_t totalSramEquivBytes() const
+    {
+        return table_bytes + freq_counter_bytes + clmul_sram_equiv_bytes;
+    }
+};
+
+/**
+ * Compute the Sec IV-E accounting for a table configuration.
+ *
+ * Per entry: 16 B AES result for decryption + 16 B for verification
+ * (different keys).  Frequency tracking: 16 B counters for current groups,
+ * recently evicted groups, and new-candidate monitoring.  The truncated
+ * 128x128 multiplier uses ~12 K XOR gates (2 SRAM cells each) and ~16 K
+ * inverters (half a cell each); depth log2(128) = 7 XORs and
+ * log4(128) ~= 3 inverters.
+ */
+AreaReport computeArea(const MemoConfig &cfg = MemoConfig());
+
+} // namespace rmcc::core
+
+#endif // RMCC_CORE_AREA_HPP

@@ -1,0 +1,45 @@
+#include "core/budget.hpp"
+
+namespace rmcc::core
+{
+
+TrafficBudget::TrafficBudget(const BudgetConfig &cfg)
+    : cfg_(cfg), pool_(cfg.initial_pool_accesses)
+{
+}
+
+bool
+TrafficBudget::onAccess()
+{
+    ++total_accesses_;
+    // Continuous accrual: identical cumulative allowance at every epoch
+    // boundary to the paper's replenish-at-epoch-start + carry-over rule,
+    // but usable smoothly within short simulation windows.
+    pool_ += cfg_.fraction;
+    if (++in_epoch_ < cfg_.epoch_accesses)
+        return false;
+    in_epoch_ = 0;
+    ++epochs_;
+    return true;
+}
+
+bool
+TrafficBudget::trySpend(std::uint64_t cost)
+{
+    if (!canSpend(cost))
+        return false;
+    pool_ -= static_cast<double>(cost);
+    total_spent_ += cost;
+    return true;
+}
+
+void
+TrafficBudget::forceSpend(std::uint64_t cost)
+{
+    pool_ -= static_cast<double>(cost);
+    if (pool_ < 0.0)
+        pool_ = 0.0;
+    total_spent_ += cost;
+}
+
+} // namespace rmcc::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * High-counter candidate monitor (paper Sec IV-C3).
+ *
+ * When counters climb above Max-Counter-in-Table, memoization-aware update
+ * has nothing to aim at.  The monitor watches a ladder of candidate start
+ * values above the current table maximum X — X+1+8i (i = 0..16) and
+ * X+129+2^j (j = 4..17) — counts, per candidate, how many read requests
+ * used a counter value *below* it, and, once 2 K reads with counters above
+ * X have accumulated, selects the smallest candidate that covers at least
+ * 98% of the reads observed since arming.
+ */
+#ifndef RMCC_CORE_CANDIDATE_MONITOR_HPP
+#define RMCC_CORE_CANDIDATE_MONITOR_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "address/types.hpp"
+
+namespace rmcc::core
+{
+
+/** Tuning knobs of the candidate monitor. */
+struct MonitorConfig
+{
+    std::uint64_t trigger_reads = 2048; //!< "many (e.g., 2K)" high reads.
+    double coverage_goal = 0.98;        //!< The 98% requirement.
+};
+
+/**
+ * Per-level candidate monitor.
+ */
+class CandidateMonitor
+{
+  public:
+    explicit CandidateMonitor(const MonitorConfig &cfg = MonitorConfig());
+
+    /**
+     * Re-arm around a new table maximum X; resets counts and recomputes
+     * the candidate ladder.
+     */
+    void arm(addr::CounterValue max_in_table);
+
+    /** Observe the counter value used by one read request. */
+    void observeRead(addr::CounterValue v);
+
+    /**
+     * If the 2 K trigger has fired, return the selected start value for a
+     * new Memoized Counter Value Group (and expect the caller to re-arm).
+     * The caller must still apply the Observed-System-Max cap.
+     */
+    std::optional<addr::CounterValue> takeSelection();
+
+    /** Candidate ladder for the current arming (tests). */
+    const std::vector<addr::CounterValue> &candidates() const
+    {
+        return candidates_;
+    }
+
+    /** Reads observed above the armed maximum since arming. */
+    std::uint64_t highReads() const { return high_reads_; }
+
+  private:
+    MonitorConfig cfg_;
+    addr::CounterValue armed_max_ = 0;
+    std::vector<addr::CounterValue> candidates_;
+    std::vector<std::uint64_t> below_counts_;
+    std::uint64_t total_reads_ = 0;
+    std::uint64_t high_reads_ = 0;
+};
+
+} // namespace rmcc::core
+
+#endif // RMCC_CORE_CANDIDATE_MONITOR_HPP

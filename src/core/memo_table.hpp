@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The RMCC memoization table (paper Fig 9).
+ *
+ * 128 entries organized as 16 Memoized Counter Value Groups of eight
+ * consecutive counter values each.  Each group carries a use-frequency
+ * counter (incremented whenever one of its values decrypts/verifies a
+ * read).  The 16 most recently evicted groups keep shadow frequency
+ * counters, like shadow tags in cache-replacement studies, and up to 16
+ * most-recently-used individual counter values falling under evicted
+ * groups stay memoized (Sec IV-C4).  At the end of each 1 M-access epoch
+ * the 15 hottest of the 32 tracked groups (plus any group inserted during
+ * the epoch, which is protected) are re-memoized.
+ */
+#ifndef RMCC_CORE_MEMO_TABLE_HPP
+#define RMCC_CORE_MEMO_TABLE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "address/types.hpp"
+
+namespace rmcc::core
+{
+
+/** Sizing knobs of one memoization table. */
+struct MemoConfig
+{
+    unsigned groups = 16;        //!< Memoized Counter Value Groups.
+    unsigned group_size = 8;     //!< Consecutive values per group.
+    unsigned shadow_groups = 16; //!< Recently evicted groups tracked.
+    unsigned recent_values = 16; //!< MRU evicted-group values memoized.
+
+    /** Total memoized value entries (128 in the paper). */
+    unsigned entries() const { return groups * group_size; }
+};
+
+/** Kind of memoization-table hit for a looked-up counter value. */
+enum class MemoHit
+{
+    GroupHit,  //!< Value inside a memoized group.
+    RecentHit, //!< Value among the MRU evicted-group values.
+    Miss,      //!< Not memoized; AES must run from scratch.
+};
+
+/**
+ * One level's memoization table.
+ */
+class MemoTable
+{
+  public:
+    explicit MemoTable(const MemoConfig &cfg = MemoConfig());
+
+    const MemoConfig &config() const { return cfg_; }
+
+    /**
+     * Look up the counter value used to decrypt/verify a read; updates
+     * group/shadow frequencies and the MRU evicted-value list.
+     */
+    MemoHit lookupRead(addr::CounterValue v);
+
+    /** Pure query: is v currently memoized (group or recent value)? */
+    bool contains(addr::CounterValue v) const;
+
+    /** Pure query: is v inside a memoized group? */
+    bool inGroups(addr::CounterValue v) const;
+
+    /**
+     * Smallest memoized *group* value strictly greater than v — the
+     * target of memoization-aware counter update.  The MRU evicted values
+     * are deliberately excluded: their composition changes with every
+     * access, so the update policy does not chase them (Sec IV-C4).
+     */
+    std::optional<addr::CounterValue>
+    nearestAbove(addr::CounterValue v) const;
+
+    /** Largest memoized group value (Max-Counter-in-Table); 0 if empty. */
+    addr::CounterValue maxInTable() const;
+
+    /** Number of valid groups. */
+    unsigned validGroups() const;
+
+    /**
+     * Insert a new group starting at `start`, replacing the least
+     * frequently used current group (which moves to the shadow list).
+     * The inserted group is protected from the next end-of-epoch
+     * reselection.
+     */
+    void insertGroup(addr::CounterValue start);
+
+    /**
+     * End-of-epoch reselection: keep the protected group (if any) plus
+     * the hottest remaining groups out of current+shadow, then age all
+     * frequency counters.
+     */
+    void endOfEpoch();
+
+    /** All current group start values (tests/diagnostics). */
+    std::vector<addr::CounterValue> groupStarts() const;
+
+    /** Lifetime hit counters. */
+    std::uint64_t groupHits() const { return group_hits_; }
+    std::uint64_t recentHits() const { return recent_hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t lookups() const
+    {
+        return group_hits_ + recent_hits_ + misses_;
+    }
+
+  private:
+    struct Group
+    {
+        addr::CounterValue start = 0;
+        std::uint64_t freq = 0;
+        bool valid = false;
+    };
+
+    /** Group (current) containing v, or -1. */
+    int findGroup(addr::CounterValue v) const;
+    /** Shadow group containing v, or -1. */
+    int findShadow(addr::CounterValue v) const;
+
+    MemoConfig cfg_;
+    std::vector<Group> groups_;
+    std::vector<Group> shadows_;
+    std::deque<addr::CounterValue> recent_; // front = most recent
+    std::optional<addr::CounterValue> protected_start_;
+    std::uint64_t group_hits_ = 0, recent_hits_ = 0, misses_ = 0;
+};
+
+} // namespace rmcc::core
+
+#endif // RMCC_CORE_MEMO_TABLE_HPP

@@ -1,0 +1,136 @@
+#include "core/rmcc_engine.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rmcc::core
+{
+
+RmccEngine::RmccEngine(const RmccConfig &cfg, ctr::IntegrityTree &tree)
+    : cfg_(cfg), tree_(tree)
+{
+    const unsigned n =
+        std::min(cfg_.memo_levels, tree_.levels());
+    for (unsigned l = 0; l < n; ++l) {
+        auto state = std::make_unique<LevelState>();
+        state->table = std::make_unique<MemoTable>(cfg_.memo);
+        state->monitor = std::make_unique<CandidateMonitor>(cfg_.monitor);
+        state->budget = std::make_unique<TrafficBudget>(cfg_.budget);
+        state->policy = std::make_unique<UpdatePolicy>(
+            *state->table, *state->budget, cfg_.enabled,
+            /*allow_far_relevel=*/l == 0);
+        levels_.push_back(std::move(state));
+    }
+}
+
+addr::CounterValue
+RmccEngine::capStart(addr::CounterValue start) const
+{
+    // Sec IV-D2: new groups start below Observed-System-Max + 1, so the
+    // largest counter in the system can only ever advance by one per
+    // writeback, preserving SGX's 2^56-writeback reboot bound.
+    return std::min(start, tree_.observedMax());
+}
+
+ReadConsult
+RmccEngine::onReadCounterUse(unsigned level, std::uint64_t idx)
+{
+    ReadConsult out;
+    if (!cfg_.enabled || level >= levels_.size())
+        return out;
+
+    LevelState &st = *levels_[level];
+    ctr::CounterScheme &scheme = tree_.level(level);
+    const addr::CounterValue v = scheme.read(idx);
+
+    st.monitor->observeRead(v);
+    out.hit = st.table->lookupRead(v);
+
+    // High-counter trigger: insert a new group above the table (IV-C3),
+    // at most once per epoch.
+    if (!st.inserted_this_epoch) {
+        if (const auto sel = st.monitor->takeSelection()) {
+            st.table->insertGroup(capStart(*sel));
+            ++st.insertions;
+            st.inserted_this_epoch = true;
+            st.monitor->arm(st.table->maxInTable());
+        }
+    }
+
+    // Read-triggered relevel for values the table does not cover (IV-C1).
+    if (out.hit == MemoHit::Miss && cfg_.read_update) {
+        if (const auto upd = st.policy->onReadMiss(scheme, idx)) {
+            out.releveled = true;
+            out.overhead_accesses = upd->overhead_accesses;
+            out.reencrypt_blocks = upd->reencrypt_blocks;
+        }
+    }
+    return out;
+}
+
+UpdateOutcome
+RmccEngine::onWriteCounter(unsigned level, std::uint64_t idx)
+{
+    ctr::CounterScheme &scheme = tree_.level(level);
+    if (cfg_.enabled && level < levels_.size())
+        return levels_[level]->policy->onWrite(scheme, idx);
+
+    // Baseline +1 (also used above the memoized levels under RMCC).
+    const addr::CounterValue cur = scheme.read(idx);
+    const ctr::WriteResult r = scheme.write(idx, cur + 1);
+    UpdateOutcome out;
+    out.value = r.new_value;
+    out.overflow = r.overflow;
+    out.reencrypt_blocks = r.reencrypt_blocks;
+    return out;
+}
+
+void
+RmccEngine::onDramAccess()
+{
+    if (!cfg_.enabled)
+        return;
+    for (auto &st : levels_) {
+        if (st->budget->onAccess()) {
+            st->table->endOfEpoch();
+            st->monitor->arm(st->table->maxInTable());
+            st->inserted_this_epoch = false;
+        }
+    }
+}
+
+void
+RmccEngine::setBudgetPools(double accesses)
+{
+    for (auto &st : levels_)
+        st->budget->setPool(accesses);
+}
+
+double
+RmccEngine::averageCoverage(unsigned level) const
+{
+    if (level >= levels_.size())
+        return 0.0;
+    const MemoTable &tbl = *levels_[level]->table;
+    const ctr::CounterScheme &scheme = tree_.level(level);
+
+    // Count entities per memoized value in one pass.
+    std::unordered_map<addr::CounterValue, std::uint64_t> covered;
+    for (const auto start : tbl.groupStarts())
+        for (unsigned k = 0; k < tbl.config().group_size; ++k)
+            covered.emplace(start + k, 0);
+    if (covered.empty())
+        return 0.0;
+    for (std::uint64_t i = 0; i < scheme.entities(); ++i) {
+        const auto it = covered.find(scheme.read(i));
+        if (it != covered.end())
+            ++it->second;
+    }
+    std::uint64_t total = 0;
+    for (const auto &[value, count] : covered)
+        total += count;
+    return static_cast<double>(total) /
+           static_cast<double>(covered.size());
+}
+
+} // namespace rmcc::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Memoization-aware counter update (paper Sec IV-B, IV-C1, IV-C2).
+ *
+ * On a writeback, instead of incrementing the block's counter by one, RMCC
+ * raises it to the nearest counter value currently memoized; counter-mode
+ * security only requires that the value increases.  Reads whose counter
+ * values miss in the memoization table may also be releveled, within the
+ * traffic budget.  Jumps that cause a split-counter overflow the baseline
+ * would have avoided are charged to the budget; when the budget is dry the
+ * policy reverts to baseline +1, except for writes the baseline would
+ * overflow anyway, which relevel straight to a memoized value.
+ */
+#ifndef RMCC_CORE_UPDATE_POLICY_HPP
+#define RMCC_CORE_UPDATE_POLICY_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "core/budget.hpp"
+#include "core/memo_table.hpp"
+#include "counters/scheme.hpp"
+
+namespace rmcc::core
+{
+
+/** What one counter update did. */
+struct UpdateOutcome
+{
+    addr::CounterValue value = 0;        //!< Final counter value.
+    bool used_memo_target = false;       //!< Jumped to a memoized value.
+    bool overflow = false;               //!< Block rebase occurred.
+    std::uint64_t reencrypt_blocks = 0;  //!< Entities to re-encrypt.
+    //! Extra 64 B accesses charged to the budget vs the baseline update.
+    std::uint64_t overhead_accesses = 0;
+};
+
+/**
+ * The update policy for one integrity-tree level.
+ */
+class UpdatePolicy
+{
+  public:
+    /**
+     * @param table that level's memoization table (borrowed).
+     * @param budget that level's traffic budget (borrowed).
+     * @param enabled false = always baseline +1 (baseline configs).
+     */
+    /**
+     * @param allow_far_relevel permit whole-block relevels for far jumps
+     *        (level 0 in the default configuration; a relevel at level k
+     *        re-encrypts every level k-1 block it covers, which is
+     *        disproportionate at higher levels).
+     */
+    UpdatePolicy(MemoTable &table, TrafficBudget &budget, bool enabled,
+                 bool allow_far_relevel = true);
+
+    /** Counter update for a writeback of entity idx. */
+    UpdateOutcome onWrite(ctr::CounterScheme &scheme, std::uint64_t idx);
+
+    /**
+     * Read-triggered relevel (Sec IV-C1): the read's counter value missed
+     * in the table; raise it to a memoized value if the budget allows.
+     * The extra traffic (re-encrypting and rewriting the data block, plus
+     * any overflow) is charged to the budget.  Returns nullopt if nothing
+     * was done.
+     */
+    std::optional<UpdateOutcome> onReadMiss(ctr::CounterScheme &scheme,
+                                            std::uint64_t idx);
+
+    /** Total read-triggered updates performed. */
+    std::uint64_t readUpdates() const { return read_updates_; }
+
+  private:
+    /**
+     * Pick the jump target for idx: nearest memoized value above the
+     * current value, retargeted above the block max when the jump would
+     * rebase the block (so the rebase lands on a memoized value).
+     */
+    std::optional<addr::CounterValue>
+    memoTarget(const ctr::CounterScheme &scheme, std::uint64_t idx) const;
+
+    MemoTable &table_;
+    TrafficBudget &budget_;
+    bool enabled_;
+    bool allow_far_relevel_;
+    std::uint64_t read_updates_ = 0;
+};
+
+} // namespace rmcc::core
+
+#endif // RMCC_CORE_UPDATE_POLICY_HPP

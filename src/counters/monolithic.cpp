@@ -1,0 +1,56 @@
+#include "counters/monolithic.hpp"
+
+#include <cassert>
+
+#include "crypto/otp.hpp"
+
+namespace rmcc::ctr
+{
+
+MonolithicScheme::MonolithicScheme(std::uint64_t n) : store_(n)
+{
+}
+
+addr::CounterValue
+MonolithicScheme::read(std::uint64_t idx) const
+{
+    return store_.get(idx);
+}
+
+WriteResult
+MonolithicScheme::write(std::uint64_t idx, addr::CounterValue new_value)
+{
+    assert(new_value > store_.get(idx));
+    assert(new_value <= crypto::kCounterMask);
+    store_.set(idx, new_value);
+    return {new_value, false, 0};
+}
+
+bool
+MonolithicScheme::encodable(std::uint64_t idx,
+                            addr::CounterValue new_value) const
+{
+    (void)idx;
+    return new_value <= crypto::kCounterMask;
+}
+
+WriteResult
+MonolithicScheme::relevelBlock(std::uint64_t idx, addr::CounterValue target)
+{
+    const std::uint64_t first = blockOf(idx) * kCoverage;
+    const std::uint64_t last =
+        std::min<std::uint64_t>(first + kCoverage, store_.size());
+    assert(target > blockMax(idx));
+    for (std::uint64_t i = first; i < last; ++i)
+        store_.set(i, target);
+    return {target, false, last - first};
+}
+
+void
+MonolithicScheme::randomInit(util::Rng &rng, addr::CounterValue mean)
+{
+    for (std::uint64_t i = 0; i < store_.size(); ++i)
+        store_.set(i, rng.nextInRange(mean / 2, mean + mean / 2));
+}
+
+} // namespace rmcc::ctr

@@ -1,0 +1,365 @@
+#include "counters/morphable.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace rmcc::ctr
+{
+
+/** Exception slots in the Uniform3X format. */
+constexpr unsigned kUniform3xSlots = 3;
+
+const std::array<MorphFormatInfo, 6> &
+morphFormats()
+{
+    static const std::array<MorphFormatInfo, 6> kFormats = {{
+        {MorphFormat::Uniform3, 128, 3, false, 128 * 3},
+        {MorphFormat::Uniform3X, 128, 3, false,
+         128 * 3 + kUniform3xSlots * (7 + 13)},
+        {MorphFormat::Bitmap6, 51, 6, true, 128 + 51 * 6},
+        {MorphFormat::Bitmap7, 42, 7, true, 128 + 42 * 7},
+        {MorphFormat::Bitmap8, 36, 8, true, 128 + 36 * 8},
+        {MorphFormat::Index16, 16, 16, false, 16 * (7 + 16)},
+    }};
+    static_assert(128 * 3 <= 448 && 128 * 3 + 3 * 20 <= 448 &&
+                      128 + 51 * 6 <= 448 && 128 + 42 * 7 <= 448 &&
+                      128 + 36 * 8 <= 448 && 16 * 23 <= 448,
+                  "all payloads must fit the 448-bit budget");
+    return kFormats;
+}
+
+namespace
+{
+
+const MorphFormatInfo &
+infoOf(MorphFormat f)
+{
+    return morphFormats()[static_cast<std::size_t>(f)];
+}
+
+/** Does a set of offsets fit one format? */
+bool
+fits(const MorphFormatInfo &fmt, const std::vector<std::uint64_t> &offsets)
+{
+    if (fmt.id == MorphFormat::Uniform3X) {
+        // Uniform 3-bit minors with up to kUniform3xSlots far-drifted
+        // exceptions below 2^13.
+        unsigned exceptions = 0;
+        for (auto o : offsets) {
+            if (o >= (1ULL << 13))
+                return false;
+            if (o >= 8 && ++exceptions > kUniform3xSlots)
+                return false;
+        }
+        return true;
+    }
+    const std::uint64_t limit = 1ULL << fmt.minor_bits;
+    unsigned nonzero = 0;
+    for (auto o : offsets) {
+        if (o >= limit)
+            return false;
+        nonzero += o != 0;
+    }
+    if (fmt.id == MorphFormat::Uniform3)
+        return true; // all minors stored, any may be non-zero
+    return nonzero <= fmt.max_nonzero;
+}
+
+/** Bit offsets of the packed layout. */
+constexpr std::size_t kMajorBits = 56;
+constexpr std::size_t kFormatBits = 8;
+constexpr std::size_t kPayloadBase = kMajorBits + kFormatBits;
+
+} // namespace
+
+std::optional<MorphFormat>
+MorphableScheme::chooseFormat(const std::vector<std::uint64_t> &offsets)
+{
+    for (const auto &fmt : morphFormats())
+        if (fits(fmt, offsets))
+            return fmt.id;
+    return std::nullopt;
+}
+
+MorphableScheme::MorphableScheme(std::uint64_t n)
+    : store_(n),
+      majors_((n + kCoverage - 1) / kCoverage, 0),
+      formats_(majors_.size(), MorphFormat::Uniform3)
+{
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+MorphableScheme::blockRange(addr::CounterBlockId cb) const
+{
+    const std::uint64_t first = cb * kCoverage;
+    return {first, std::min(first + kCoverage, store_.size())};
+}
+
+std::vector<std::uint64_t>
+MorphableScheme::blockOffsets(addr::CounterBlockId cb) const
+{
+    const auto [first, last] = blockRange(cb);
+    std::vector<std::uint64_t> offsets(last - first);
+    for (std::uint64_t i = first; i < last; ++i)
+        offsets[i - first] = store_.get(i) - majors_[cb];
+    return offsets;
+}
+
+addr::CounterValue
+MorphableScheme::read(std::uint64_t idx) const
+{
+    return store_.get(idx);
+}
+
+bool
+MorphableScheme::encodable(std::uint64_t idx,
+                           addr::CounterValue new_value) const
+{
+    const addr::CounterBlockId cb = blockOf(idx);
+    if (new_value >= majors_[cb]) {
+        auto offsets = blockOffsets(cb);
+        offsets[idx - cb * kCoverage] = new_value - majors_[cb];
+        if (chooseFormat(offsets).has_value())
+            return true;
+    }
+    // Min-shift re-encode: sliding the major up to the block minimum
+    // changes no counter value, so it costs no re-encryption.
+    return shiftedFormat(cb, idx, new_value).has_value();
+}
+
+std::optional<MorphFormat>
+MorphableScheme::shiftedFormat(addr::CounterBlockId cb, std::uint64_t idx,
+                               addr::CounterValue new_value) const
+{
+    const auto [first, last] = blockRange(cb);
+    addr::CounterValue vmin = new_value;
+    for (std::uint64_t i = first; i < last; ++i)
+        if (i != idx)
+            vmin = std::min(vmin, store_.get(i));
+    std::vector<std::uint64_t> offsets(last - first);
+    for (std::uint64_t i = first; i < last; ++i)
+        offsets[i - first] =
+            (i == idx ? new_value : store_.get(i)) - vmin;
+    return chooseFormat(offsets);
+}
+
+WriteResult
+MorphableScheme::write(std::uint64_t idx, addr::CounterValue new_value)
+{
+    assert(new_value > store_.get(idx));
+    const addr::CounterBlockId cb = blockOf(idx);
+    if (new_value >= majors_[cb]) {
+        auto offsets = blockOffsets(cb);
+        offsets[idx - cb * kCoverage] = new_value - majors_[cb];
+        if (const auto fmt = chooseFormat(offsets)) {
+            if (*fmt != formats_[cb]) {
+                ++morphs_;
+                formats_[cb] = *fmt;
+            }
+            store_.set(idx, new_value);
+            return {new_value, false, 0};
+        }
+    }
+    // Min-shift re-encode: when the whole block has drifted upward, the
+    // major slides up to the block minimum.  No counter value changes,
+    // so no covered entity needs re-encryption.
+    if (const auto fmt = shiftedFormat(cb, idx, new_value)) {
+        store_.set(idx, new_value);
+        const auto [first, last] = blockRange(cb);
+        addr::CounterValue vmin = store_.get(first);
+        for (std::uint64_t i = first; i < last; ++i)
+            vmin = std::min(vmin, store_.get(i));
+        majors_[cb] = vmin;
+        formats_[cb] = *fmt;
+        ++morphs_;
+        return {new_value, false, 0};
+    }
+    // Rebase: relevel every value to the block maximum; all covered
+    // entities must be re-encrypted with the new shared value.
+    const auto [first, last] = blockRange(cb);
+    addr::CounterValue vmax = new_value;
+    for (std::uint64_t i = first; i < last; ++i)
+        vmax = std::max(vmax, store_.get(i));
+    majors_[cb] = vmax;
+    for (std::uint64_t i = first; i < last; ++i)
+        store_.set(i, vmax);
+    formats_[cb] = MorphFormat::Uniform3;
+    ++overflows_;
+    return {vmax, true, last - first};
+}
+
+bool
+MorphableScheme::cheaplyEncodable(std::uint64_t idx,
+                                  addr::CounterValue v) const
+{
+    // Cheap = the block stays in (possibly min-shifted) dense uniform
+    // range: no exception or bitmap capacity is consumed.
+    const addr::CounterBlockId cb = blockOf(idx);
+    const auto [first, last] = blockRange(cb);
+    addr::CounterValue vmin = v, vmax = v;
+    for (std::uint64_t i = first; i < last; ++i) {
+        if (i == idx)
+            continue;
+        const addr::CounterValue x = store_.get(i);
+        vmin = std::min(vmin, x);
+        vmax = std::max(vmax, x);
+    }
+    return vmax - vmin < 8;
+}
+
+WriteResult
+MorphableScheme::relevelBlock(std::uint64_t idx, addr::CounterValue target)
+{
+    const addr::CounterBlockId cb = blockOf(idx);
+    const auto [first, last] = blockRange(cb);
+    assert(target > blockMax(idx));
+    majors_[cb] = target;
+    for (std::uint64_t i = first; i < last; ++i)
+        store_.set(i, target);
+    formats_[cb] = MorphFormat::Uniform3;
+    return {target, false, last - first};
+}
+
+void
+MorphableScheme::randomInit(util::Rng &rng, addr::CounterValue mean)
+{
+    for (addr::CounterBlockId cb = 0; cb < majors_.size(); ++cb) {
+        const addr::CounterValue major =
+            rng.nextInRange(mean / 2, mean + mean / 2);
+        majors_[cb] = major;
+        const auto [first, last] = blockRange(cb);
+        // Releveling is the fixed point of split-counter dynamics: a block
+        // that has overflowed holds all-equal values, and subsequent
+        // writes add only a small drift.  Model exactly that: most blocks
+        // sit at their major with a handful of small drifted minors, and
+        // a few carry larger bitmap-encoded offsets.
+        std::vector<std::uint64_t> offsets(last - first, 0);
+        const unsigned drifted =
+            static_cast<unsigned>(rng.nextBelow(12));
+        for (unsigned k = 0; k < drifted; ++k)
+            offsets[rng.nextBelow(offsets.size())] = 1 + rng.nextBelow(7);
+        if (rng.nextBool(0.1)) {
+            const unsigned big = 1 + static_cast<unsigned>(
+                                         rng.nextBelow(8));
+            for (unsigned k = 0; k < big; ++k)
+                offsets[rng.nextBelow(offsets.size())] =
+                    8 + rng.nextBelow(56);
+        }
+        const auto fmt = chooseFormat(offsets);
+        if (!fmt)
+            util::panic("randomInit produced unencodable morphable block");
+        formats_[cb] = *fmt;
+        for (std::uint64_t i = first; i < last; ++i)
+            store_.set(i, major + offsets[i - first]);
+    }
+}
+
+util::BitVec512
+MorphableScheme::packBlock(addr::CounterBlockId cb) const
+{
+    util::BitVec512 bits;
+    bits.set(0, kMajorBits, majors_[cb]);
+    bits.set(kMajorBits, kFormatBits,
+             static_cast<std::uint64_t>(formats_[cb]));
+    const auto offsets = blockOffsets(cb);
+    const MorphFormatInfo &fmt = infoOf(formats_[cb]);
+
+    if (fmt.id == MorphFormat::Uniform3) {
+        for (std::size_t i = 0; i < offsets.size(); ++i)
+            bits.set(kPayloadBase + i * fmt.minor_bits, fmt.minor_bits,
+                     offsets[i]);
+        return bits;
+    }
+    if (fmt.id == MorphFormat::Uniform3X) {
+        // Uniform 3-bit array; offsets >= 8 go to exception slots and
+        // leave zero in their uniform position.
+        const std::size_t exc_base = kPayloadBase + 128 * 3;
+        std::size_t slot = 0;
+        for (std::size_t i = 0; i < offsets.size(); ++i) {
+            if (offsets[i] < 8) {
+                bits.set(kPayloadBase + i * 3, 3, offsets[i]);
+            } else {
+                const std::size_t base = exc_base + slot * 20;
+                bits.set(base, 7, i);
+                bits.set(base + 7, 13, offsets[i]);
+                ++slot;
+            }
+        }
+        assert(slot <= kUniform3xSlots);
+        return bits;
+    }
+    if (fmt.bitmap) {
+        std::size_t slot = 0;
+        const std::size_t minors_base = kPayloadBase + kCoverage;
+        for (std::size_t i = 0; i < offsets.size(); ++i) {
+            if (offsets[i] == 0)
+                continue;
+            bits.set(kPayloadBase + i, 1, 1);
+            bits.set(minors_base + slot * fmt.minor_bits, fmt.minor_bits,
+                     offsets[i]);
+            ++slot;
+        }
+        assert(slot <= fmt.max_nonzero);
+        return bits;
+    }
+    // Index16: (7-bit index, 16-bit minor) pairs; unused slots zero.
+    std::size_t slot = 0;
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        if (offsets[i] == 0)
+            continue;
+        const std::size_t base = kPayloadBase + slot * 23;
+        bits.set(base, 7, i);
+        bits.set(base + 7, 16, offsets[i]);
+        ++slot;
+    }
+    assert(slot <= fmt.max_nonzero);
+    return bits;
+}
+
+std::pair<addr::CounterValue, std::vector<std::uint64_t>>
+MorphableScheme::unpackBlock(const util::BitVec512 &bits)
+{
+    const addr::CounterValue major = bits.get(0, kMajorBits);
+    const auto fmt_id =
+        static_cast<MorphFormat>(bits.get(kMajorBits, kFormatBits));
+    const MorphFormatInfo &fmt = infoOf(fmt_id);
+    std::vector<std::uint64_t> offsets(kCoverage, 0);
+
+    if (fmt.id == MorphFormat::Uniform3) {
+        for (std::size_t i = 0; i < offsets.size(); ++i)
+            offsets[i] =
+                bits.get(kPayloadBase + i * fmt.minor_bits, fmt.minor_bits);
+    } else if (fmt.id == MorphFormat::Uniform3X) {
+        for (std::size_t i = 0; i < offsets.size(); ++i)
+            offsets[i] = bits.get(kPayloadBase + i * 3, 3);
+        const std::size_t exc_base = kPayloadBase + 128 * 3;
+        for (std::size_t slot = 0; slot < kUniform3xSlots; ++slot) {
+            const std::size_t base = exc_base + slot * 20;
+            const std::uint64_t minor = bits.get(base + 7, 13);
+            if (minor != 0)
+                offsets[bits.get(base, 7)] = minor;
+        }
+    } else if (fmt.bitmap) {
+        std::size_t slot = 0;
+        const std::size_t minors_base = kPayloadBase + kCoverage;
+        for (std::size_t i = 0; i < offsets.size(); ++i) {
+            if (bits.get(kPayloadBase + i, 1)) {
+                offsets[i] = bits.get(minors_base + slot * fmt.minor_bits,
+                                      fmt.minor_bits);
+                ++slot;
+            }
+        }
+    } else {
+        for (std::size_t slot = 0; slot < fmt.max_nonzero; ++slot) {
+            const std::size_t base = kPayloadBase + slot * 23;
+            const std::uint64_t minor = bits.get(base + 7, 16);
+            if (minor != 0)
+                offsets[bits.get(base, 7)] = minor;
+        }
+    }
+    return {major, offsets};
+}
+
+} // namespace rmcc::ctr

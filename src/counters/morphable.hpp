@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Morphable Counters (Saileshwar et al., MICRO'18): 128-entity coverage per
+ * 64 B counter block with a *morphing* encoding.
+ *
+ * Layout modeled here (the original's exact bit layout is not public; see
+ * DESIGN.md item 5.2): a 56-bit shared major, an 8-bit format tag, and a
+ * 448-bit payload that morphs between five formats:
+ *
+ *   Uniform3  - 128 x 3-bit minors (384 b)          offsets < 8
+ *   Uniform3X - 128 x 3-bit minors + 3 exception
+ *               slots (7-bit index + 13-bit minor)  < 8 except 3 < 8 Ki
+ *   Bitmap6   - 128 b bitmap + 51 x 6-bit minors    <= 51 non-zero, < 64
+ *   Bitmap7   - 128 b bitmap + 42 x 7-bit minors    <= 42 non-zero, < 128
+ *   Bitmap8   - 128 b bitmap + 36 x 8-bit minors    <= 36 non-zero, < 256
+ *   Index16   - 16 x (7-bit index + 16-bit minor)   <= 16 non-zero, < 64 Ki
+ *
+ * (The 51/42/36 non-zero-minor counts are the variable non-power-of-2
+ * decode widths the paper charges 3 ns for.)  A write first tries to morph
+ * to any fitting format; if none fits, the block rebases: every encoded
+ * value is raised to the block maximum and all 128 covered entities are
+ * re-encrypted.
+ */
+#ifndef RMCC_COUNTERS_MORPHABLE_HPP
+#define RMCC_COUNTERS_MORPHABLE_HPP
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "counters/scheme.hpp"
+#include "util/bitvec.hpp"
+
+namespace rmcc::ctr
+{
+
+/** Identifier of a morphable payload format. */
+enum class MorphFormat : std::uint8_t
+{
+    Uniform3 = 0,
+    Uniform3X = 1,
+    Bitmap6 = 2,
+    Bitmap7 = 3,
+    Bitmap8 = 4,
+    Index16 = 5,
+};
+
+/** Static description of one format. */
+struct MorphFormatInfo
+{
+    MorphFormat id;
+    unsigned max_nonzero;   //!< Max entities with non-zero minors.
+    unsigned minor_bits;    //!< Width of each stored minor.
+    bool bitmap;            //!< Payload starts with a 128-bit bitmap.
+    unsigned payload_bits;  //!< Total payload size; must be <= 448.
+};
+
+/** All formats in preference order (cheapest decode first). */
+const std::array<MorphFormatInfo, 6> &morphFormats();
+
+/** Morphable counter scheme. */
+class MorphableScheme : public CounterScheme
+{
+  public:
+    /** Entities per counter block. */
+    static constexpr unsigned kCoverage = 128;
+
+    explicit MorphableScheme(std::uint64_t n);
+
+    std::string name() const override { return "Morphable"; }
+    unsigned coverage() const override { return kCoverage; }
+    double decodeLatencyNs() const override { return 3.0; }
+
+    addr::CounterValue read(std::uint64_t idx) const override;
+    WriteResult write(std::uint64_t idx,
+                      addr::CounterValue new_value) override;
+    bool encodable(std::uint64_t idx,
+                   addr::CounterValue new_value) const override;
+    WriteResult relevelBlock(std::uint64_t idx,
+                             addr::CounterValue target) override;
+    bool cheaplyEncodable(std::uint64_t idx,
+                          addr::CounterValue v) const override;
+    std::uint64_t entities() const override { return store_.size(); }
+    addr::CounterValue observedMax() const override
+    {
+        return store_.observedMax();
+    }
+    void randomInit(util::Rng &rng, addr::CounterValue mean) override;
+
+    /** Current format of a block (stats/tests). */
+    MorphFormat format(addr::CounterBlockId cb) const
+    {
+        return formats_[cb];
+    }
+
+    /** Major counter of a block. */
+    addr::CounterValue major(addr::CounterBlockId cb) const
+    {
+        return majors_[cb];
+    }
+
+    /** Number of format-morph events (no traffic cost). */
+    std::uint64_t morphs() const { return morphs_; }
+
+    /**
+     * Pack a block's current contents into its literal 512-bit layout;
+     * proves the encoding really fits in 64 B (used by tests).
+     */
+    util::BitVec512 packBlock(addr::CounterBlockId cb) const;
+
+    /**
+     * Decode a packed block back into (major, offsets); inverse of
+     * packBlock for round-trip tests.
+     */
+    static std::pair<addr::CounterValue, std::vector<std::uint64_t>>
+    unpackBlock(const util::BitVec512 &bits);
+
+    /**
+     * Smallest fitting format for a set of minor offsets, or nullopt if
+     * only a rebase can accommodate them.
+     */
+    static std::optional<MorphFormat>
+    chooseFormat(const std::vector<std::uint64_t> &offsets);
+
+  private:
+    /** Offsets (value - major) of every entity in a block. */
+    std::vector<std::uint64_t> blockOffsets(addr::CounterBlockId cb) const;
+
+    /**
+     * Format that fits after sliding the major to the block minimum with
+     * entity idx set to new_value; nullopt if none.
+     */
+    std::optional<MorphFormat>
+    shiftedFormat(addr::CounterBlockId cb, std::uint64_t idx,
+                  addr::CounterValue new_value) const;
+
+    /** First/last+1 entity of a block. */
+    std::pair<std::uint64_t, std::uint64_t>
+    blockRange(addr::CounterBlockId cb) const;
+
+    CounterStore store_;
+    std::vector<addr::CounterValue> majors_;
+    std::vector<MorphFormat> formats_;
+    std::uint64_t morphs_ = 0;
+};
+
+} // namespace rmcc::ctr
+
+#endif // RMCC_COUNTERS_MORPHABLE_HPP

@@ -1,0 +1,82 @@
+#include "counters/sc64.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rmcc::ctr
+{
+
+Sc64Scheme::Sc64Scheme(std::uint64_t n)
+    : store_(n), majors_((n + kCoverage - 1) / kCoverage, 0)
+{
+}
+
+addr::CounterValue
+Sc64Scheme::read(std::uint64_t idx) const
+{
+    return store_.get(idx);
+}
+
+bool
+Sc64Scheme::encodable(std::uint64_t idx,
+                      addr::CounterValue new_value) const
+{
+    const addr::CounterValue major = majors_[blockOf(idx)];
+    return new_value >= major && new_value - major < kMinorRange;
+}
+
+WriteResult
+Sc64Scheme::write(std::uint64_t idx, addr::CounterValue new_value)
+{
+    assert(new_value > store_.get(idx));
+    const addr::CounterBlockId cb = blockOf(idx);
+    if (encodable(idx, new_value)) {
+        store_.set(idx, new_value);
+        return {new_value, false, 0};
+    }
+    // Overflow: relevel every encoded value in the block to the maximum
+    // (paper Sec II-D), which zeroes all minors under a new major; every
+    // covered entity's ciphertext must be recomputed with the new value.
+    const std::uint64_t first = cb * kCoverage;
+    const std::uint64_t last =
+        std::min(first + kCoverage, store_.size());
+    addr::CounterValue vmax = new_value;
+    for (std::uint64_t i = first; i < last; ++i)
+        vmax = std::max(vmax, store_.get(i));
+    majors_[cb] = vmax;
+    for (std::uint64_t i = first; i < last; ++i)
+        store_.set(i, vmax);
+    ++overflows_;
+    return {vmax, true, last - first};
+}
+
+WriteResult
+Sc64Scheme::relevelBlock(std::uint64_t idx, addr::CounterValue target)
+{
+    const addr::CounterBlockId cb = blockOf(idx);
+    const std::uint64_t first = cb * kCoverage;
+    const std::uint64_t last =
+        std::min<std::uint64_t>(first + kCoverage, store_.size());
+    assert(target > blockMax(idx));
+    majors_[cb] = target;
+    for (std::uint64_t i = first; i < last; ++i)
+        store_.set(i, target);
+    return {target, false, last - first};
+}
+
+void
+Sc64Scheme::randomInit(util::Rng &rng, addr::CounterValue mean)
+{
+    for (addr::CounterBlockId cb = 0; cb < majors_.size(); ++cb) {
+        const addr::CounterValue major =
+            rng.nextInRange(mean / 2, mean + mean / 2);
+        majors_[cb] = major;
+        const std::uint64_t first = cb * kCoverage;
+        const std::uint64_t last =
+            std::min(first + kCoverage, store_.size());
+        for (std::uint64_t i = first; i < last; ++i)
+            store_.set(i, major + rng.nextBelow(kMinorRange));
+    }
+}
+
+} // namespace rmcc::ctr

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Abstract write-counter scheme: the contract shared by SGX monolithic
+ * counters, SC-64 split counters, and Morphable Counters.
+ *
+ * A scheme manages the counters of N *entities* (data blocks when used at
+ * integrity-tree level 0; counter blocks when used at higher levels),
+ * groups them into 64 B counter blocks with a scheme-specific coverage,
+ * and reports overflows — writes whose new value cannot be encoded in the
+ * block's layout and that therefore force re-encrypting every covered
+ * entity (paper Sec II-D).
+ */
+#ifndef RMCC_COUNTERS_SCHEME_HPP
+#define RMCC_COUNTERS_SCHEME_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "address/types.hpp"
+#include "counters/store.hpp"
+#include "util/rng.hpp"
+
+namespace rmcc::ctr
+{
+
+/** Outcome of setting one counter. */
+struct WriteResult
+{
+    //! The value the entity's counter ended up with (>= requested).
+    addr::CounterValue new_value = 0;
+    //! True if the write forced a full-block rebase (overflow).
+    bool overflow = false;
+    //! Covered entities that must be re-encrypted due to the rebase.
+    std::uint64_t reencrypt_blocks = 0;
+};
+
+/** Available scheme implementations. */
+enum class SchemeKind
+{
+    SgxMonolithic, //!< 8 x 56-bit counters per block (SGX).
+    SC64,          //!< 64-bit major + 64 x 7-bit minors (ISCA'06).
+    Morphable,     //!< 128-entity coverage, morphing formats (MICRO'18).
+};
+
+/**
+ * Base class for counter schemes.
+ */
+class CounterScheme
+{
+  public:
+    virtual ~CounterScheme() = default;
+
+    /** Scheme display name. */
+    virtual std::string name() const = 0;
+
+    /** Entities covered by one 64 B counter block. */
+    virtual unsigned coverage() const = 0;
+
+    /** Extra latency to extract a counter from a fetched block, ns. */
+    virtual double decodeLatencyNs() const = 0;
+
+    /** Current logical counter of an entity. */
+    virtual addr::CounterValue read(std::uint64_t idx) const = 0;
+
+    /**
+     * Set the counter of idx to new_value.
+     *
+     * @pre new_value > read(idx): counters only increase (counter-mode
+     *      security requires never reusing a value for the same entity).
+     */
+    virtual WriteResult write(std::uint64_t idx,
+                              addr::CounterValue new_value) = 0;
+
+    /** Would new_value encode into idx's block without a rebase? */
+    virtual bool encodable(std::uint64_t idx,
+                           addr::CounterValue new_value) const = 0;
+
+    /**
+     * Relevel every counter in idx's block to `target` (which must exceed
+     * blockMax(idx)), as a deliberate whole-block update: all covered
+     * entities must be re-encrypted.  Used by RMCC's read-triggered
+     * memoization-aware update (Sec IV-C1/C2).
+     */
+    virtual WriteResult relevelBlock(std::uint64_t idx,
+                                     addr::CounterValue target) = 0;
+
+    /**
+     * Encodable without degrading the block's encoding headroom: a value
+     * the update policy may jump to for free.  Split schemes with
+     * morphing formats override this to the dense uniform range; far
+     * jumps outside it must relevel the whole block instead (otherwise
+     * they burn exception/bitmap capacity and push later baseline writes
+     * into overflow).
+     */
+    virtual bool
+    cheaplyEncodable(std::uint64_t idx, addr::CounterValue v) const
+    {
+        return encodable(idx, v);
+    }
+
+    /** Number of entities. */
+    virtual std::uint64_t entities() const = 0;
+
+    /** Largest counter value ever stored (feeds Observed-System-Max). */
+    virtual addr::CounterValue observedMax() const = 0;
+
+    /**
+     * Randomize counter state, emulating the paper's write-intensive
+     * initialization benchmark (Sec V, Lifetime Characterization): block
+     * majors land uniformly in [mean/2, 3*mean/2), minors take small
+     * in-range offsets, as repeated releveling leaves them.
+     */
+    virtual void randomInit(util::Rng &rng, addr::CounterValue mean) = 0;
+
+    /** Counter block holding entity idx's counter. */
+    addr::CounterBlockId blockOf(std::uint64_t idx) const
+    {
+        return idx / coverage();
+    }
+
+    /**
+     * Largest counter value in idx's block; an overflow relevels the whole
+     * block to (at least) this value, so the update policy aims rebase
+     * targets at the nearest memoized value above it.
+     */
+    addr::CounterValue
+    blockMax(std::uint64_t idx) const
+    {
+        const std::uint64_t first = blockOf(idx) * coverage();
+        const std::uint64_t last =
+            std::min<std::uint64_t>(first + coverage(), entities());
+        addr::CounterValue m = 0;
+        for (std::uint64_t i = first; i < last; ++i)
+            m = std::max(m, read(i));
+        return m;
+    }
+
+    /** Total overflow events so far. */
+    std::uint64_t overflows() const { return overflows_; }
+
+  protected:
+    std::uint64_t overflows_ = 0;
+};
+
+/** Create a scheme of the given kind for n entities. */
+std::unique_ptr<CounterScheme> makeScheme(SchemeKind kind, std::uint64_t n);
+
+/** Human-readable scheme-kind name. */
+std::string schemeKindName(SchemeKind kind);
+
+/** L0 counter-block coverage of a scheme kind (8 / 64 / 128). */
+unsigned schemeCoverage(SchemeKind kind);
+
+} // namespace rmcc::ctr
+
+#endif // RMCC_COUNTERS_SCHEME_HPP

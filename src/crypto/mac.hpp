@@ -1,0 +1,52 @@
+/**
+ * @file
+ * 56-bit message authentication codes for memory blocks (paper Fig 2b).
+ *
+ * MAC(block) = truncate56( GF-dot-product(words, keys)  XOR  OTP ), where
+ * the dot product runs in GF(2^128) with four per-word secret keys and the
+ * OTP comes from the block's address and counter.  Any single-bit change in
+ * the block, its address, or its counter flips the MAC with overwhelming
+ * probability.
+ */
+#ifndef RMCC_CRYPTO_MAC_HPP
+#define RMCC_CRYPTO_MAC_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/otp.hpp"
+
+namespace rmcc::crypto
+{
+
+/** MACs are 56 bits, like SGX's per-block MAC. */
+constexpr std::uint64_t kMacMask = (1ULL << 56) - 1;
+
+/**
+ * Galois MAC engine with four per-word dot-product keys.
+ */
+class MacEngine
+{
+  public:
+    /** Derive the four dot-product keys from a seed. */
+    explicit MacEngine(std::uint64_t key_seed);
+
+    /** Construct with explicit dot-product keys. */
+    explicit MacEngine(const std::array<Block128, kWordsPerBlock> &keys);
+
+    /** GF(2^128) dot product of the block's words with the keys. */
+    Block128 dotProduct(const DataBlock &block) const;
+
+    /**
+     * Full 56-bit MAC: XOR the dot product with the OTP and truncate.
+     * @param otp the MAC OTP for (address, counter), from an OtpEngine.
+     */
+    std::uint64_t mac(const DataBlock &block, const Block128 &otp) const;
+
+  private:
+    std::array<Block128, kWordsPerBlock> keys_;
+};
+
+} // namespace rmcc::crypto
+
+#endif // RMCC_CRYPTO_MAC_HPP

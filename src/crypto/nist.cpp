@@ -1,0 +1,270 @@
+#include "crypto/nist.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace rmcc::crypto
+{
+
+void
+BitStream::appendByte(std::uint8_t byte)
+{
+    bytes_.push_back(byte);
+    nbits_ += 8;
+}
+
+void
+BitStream::appendBytes(const std::uint8_t *data, std::size_t n)
+{
+    bytes_.insert(bytes_.end(), data, data + n);
+    nbits_ += 8 * n;
+}
+
+int
+BitStream::bit(std::size_t i) const
+{
+    return (bytes_[i / 8] >> (i % 8)) & 1;
+}
+
+namespace
+{
+
+constexpr double kAlpha = 0.01;
+
+/** Series expansion of P(a, x) for x < a + 1. */
+double
+igamLower(double a, double x)
+{
+    double sum = 1.0 / a;
+    double term = sum;
+    for (int n = 1; n < 1000; ++n) {
+        term *= x / (a + n);
+        sum += term;
+        if (term < sum * 1e-15)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Continued fraction for Q(a, x) for x >= a + 1 (Lentz's algorithm). */
+double
+igamUpperCf(double a, double x)
+{
+    const double tiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i < 1000; ++i) {
+        const double an = -static_cast<double>(i) * (i - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < 1e-15)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+} // namespace
+
+double
+igamc(double a, double x)
+{
+    if (x <= 0.0 || a <= 0.0)
+        return 1.0;
+    if (x < a + 1.0)
+        return 1.0 - igamLower(a, x);
+    return igamUpperCf(a, x);
+}
+
+NistResult
+frequencyTest(const BitStream &bits)
+{
+    const std::size_t n = bits.size();
+    long long s = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        s += bits.bit(i) ? 1 : -1;
+    const double s_obs =
+        std::fabs(static_cast<double>(s)) / std::sqrt(static_cast<double>(n));
+    const double p = std::erfc(s_obs / std::sqrt(2.0));
+    return {"frequency", p, p >= kAlpha};
+}
+
+NistResult
+blockFrequencyTest(const BitStream &bits, std::size_t m)
+{
+    const std::size_t n = bits.size();
+    const std::size_t blocks = n / m;
+    double chi2 = 0.0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+        std::size_t ones = 0;
+        for (std::size_t i = 0; i < m; ++i)
+            ones += static_cast<std::size_t>(bits.bit(b * m + i));
+        const double pi = static_cast<double>(ones) / static_cast<double>(m);
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * static_cast<double>(m);
+    const double p = igamc(static_cast<double>(blocks) / 2.0, chi2 / 2.0);
+    return {"block-frequency", p, p >= kAlpha};
+}
+
+NistResult
+runsTest(const BitStream &bits)
+{
+    const std::size_t n = bits.size();
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        ones += static_cast<std::size_t>(bits.bit(i));
+    const double pi = static_cast<double>(ones) / static_cast<double>(n);
+    // Prerequisite frequency check per SP 800-22.
+    if (std::fabs(pi - 0.5) >= 2.0 / std::sqrt(static_cast<double>(n)))
+        return {"runs", 0.0, false};
+    std::size_t v = 1;
+    for (std::size_t i = 1; i < n; ++i)
+        v += static_cast<std::size_t>(bits.bit(i) != bits.bit(i - 1));
+    const double num =
+        std::fabs(static_cast<double>(v) -
+                  2.0 * static_cast<double>(n) * pi * (1.0 - pi));
+    const double den =
+        2.0 * std::sqrt(2.0 * static_cast<double>(n)) * pi * (1.0 - pi);
+    const double p = std::erfc(num / den);
+    return {"runs", p, p >= kAlpha};
+}
+
+NistResult
+longestRunTest(const BitStream &bits)
+{
+    // M = 128 variant: K = 5, categories <=4, 5, 6, 7, 8, >=9.
+    constexpr std::size_t kM = 128;
+    constexpr std::array<double, 6> kPi = {
+        0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124};
+    const std::size_t blocks = bits.size() / kM;
+    std::array<std::uint64_t, 6> v{};
+    for (std::size_t b = 0; b < blocks; ++b) {
+        std::size_t longest = 0, run = 0;
+        for (std::size_t i = 0; i < kM; ++i) {
+            if (bits.bit(b * kM + i)) {
+                ++run;
+                longest = std::max(longest, run);
+            } else {
+                run = 0;
+            }
+        }
+        std::size_t cat;
+        if (longest <= 4)
+            cat = 0;
+        else if (longest >= 9)
+            cat = 5;
+        else
+            cat = longest - 4;
+        ++v[cat];
+    }
+    double chi2 = 0.0;
+    const double nb = static_cast<double>(blocks);
+    for (std::size_t k = 0; k < v.size(); ++k) {
+        const double expect = nb * kPi[k];
+        const double diff = static_cast<double>(v[k]) - expect;
+        chi2 += diff * diff / expect;
+    }
+    const double p = igamc(2.5, chi2 / 2.0);
+    return {"longest-run", p, p >= kAlpha};
+}
+
+namespace
+{
+
+/** psi^2_m statistic for the serial test (overlapping m-bit patterns). */
+double
+psiSquared(const BitStream &bits, std::size_t m)
+{
+    if (m == 0)
+        return 0.0;
+    const std::size_t n = bits.size();
+    std::vector<std::uint64_t> counts(std::size_t{1} << m, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t idx = 0;
+        for (std::size_t j = 0; j < m; ++j)
+            idx = (idx << 1) | static_cast<std::size_t>(
+                                   bits.bit((i + j) % n));
+        ++counts[idx];
+    }
+    double sum = 0.0;
+    for (auto c : counts)
+        sum += static_cast<double>(c) * static_cast<double>(c);
+    const double dn = static_cast<double>(n);
+    return sum * static_cast<double>(std::size_t{1} << m) / dn - dn;
+}
+
+} // namespace
+
+NistResult
+serialTest(const BitStream &bits, std::size_t m)
+{
+    const double psi_m = psiSquared(bits, m);
+    const double psi_m1 = psiSquared(bits, m - 1);
+    const double psi_m2 = m >= 2 ? psiSquared(bits, m - 2) : 0.0;
+    const double d1 = psi_m - psi_m1;
+    const double d2 = psi_m - 2.0 * psi_m1 + psi_m2;
+    const double p1 =
+        igamc(std::pow(2.0, static_cast<double>(m) - 2.0), d1 / 2.0);
+    const double p2 =
+        igamc(std::pow(2.0, static_cast<double>(m) - 3.0), d2 / 2.0);
+    const double p = std::min(p1, p2);
+    return {"serial", p, p >= kAlpha};
+}
+
+NistResult
+approximateEntropyTest(const BitStream &bits, std::size_t m)
+{
+    const std::size_t n = bits.size();
+    auto phi = [&](std::size_t mm) {
+        if (mm == 0)
+            return 0.0;
+        std::vector<std::uint64_t> counts(std::size_t{1} << mm, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t idx = 0;
+            for (std::size_t j = 0; j < mm; ++j)
+                idx = (idx << 1) |
+                      static_cast<std::size_t>(bits.bit((i + j) % n));
+            ++counts[idx];
+        }
+        double acc = 0.0;
+        for (auto c : counts) {
+            if (c == 0)
+                continue;
+            const double pi =
+                static_cast<double>(c) / static_cast<double>(n);
+            acc += pi * std::log(pi);
+        }
+        return acc;
+    };
+    const double ap_en = phi(m) - phi(m + 1);
+    const double chi2 =
+        2.0 * static_cast<double>(n) * (std::log(2.0) - ap_en);
+    const double p =
+        igamc(std::pow(2.0, static_cast<double>(m) - 1.0), chi2 / 2.0);
+    return {"approx-entropy", p, p >= kAlpha};
+}
+
+std::vector<NistResult>
+runNistBattery(const BitStream &bits)
+{
+    return {
+        frequencyTest(bits),
+        blockFrequencyTest(bits),
+        runsTest(bits),
+        longestRunTest(bits),
+        serialTest(bits),
+        approximateEntropyTest(bits),
+    };
+}
+
+} // namespace rmcc::crypto

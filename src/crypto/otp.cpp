@@ -1,0 +1,113 @@
+#include "crypto/otp.hpp"
+
+namespace rmcc::crypto
+{
+
+namespace
+{
+
+/** Domain bytes ("mu" in paper Fig 2) separating OTP uses. */
+constexpr std::uint64_t kMuEncrypt = 0xa5;
+constexpr std::uint64_t kMuMac = 0x5a;
+
+constexpr std::uint64_t kAddrMask = (1ULL << 48) - 1;
+
+/**
+ * Baseline AES input: hi = mu(8) | address(48) | word(8),
+ * lo = counter(56) | zero pad(8).
+ */
+Block128
+baselineInput(std::uint64_t mu, std::uint64_t address, unsigned word,
+              std::uint64_t counter)
+{
+    const std::uint64_t hi =
+        (mu << 56) | ((address & kAddrMask) << 8) | (word & 0xff);
+    const std::uint64_t lo = (counter & kCounterMask) << 8;
+    return makeBlock(hi, lo);
+}
+
+} // namespace
+
+BaselineOtpEngine::BaselineOtpEngine(const Aes &enc_key, const Aes &mac_key)
+    : enc_key_(enc_key), mac_key_(mac_key)
+{
+}
+
+Block128
+BaselineOtpEngine::encryptionOtp(std::uint64_t address, unsigned word,
+                                 std::uint64_t counter) const
+{
+    return enc_key_.encrypt(baselineInput(kMuEncrypt, address, word, counter));
+}
+
+Block128
+BaselineOtpEngine::macOtp(std::uint64_t address, std::uint64_t counter) const
+{
+    return mac_key_.encrypt(baselineInput(kMuMac, address, 0, counter));
+}
+
+RmccOtpEngine::RmccOtpEngine(const Aes &enc_key, const Aes &mac_key)
+    : enc_key_(enc_key), mac_key_(mac_key)
+{
+}
+
+Block128
+RmccOtpEngine::counterOnlyEnc(std::uint64_t counter) const
+{
+    // 72-bit zero prefix || 56-bit counter (paper Fig 11).
+    return enc_key_.encrypt(makeBlock(0, counter & kCounterMask));
+}
+
+Block128
+RmccOtpEngine::counterOnlyMac(std::uint64_t counter) const
+{
+    return mac_key_.encrypt(makeBlock(0, counter & kCounterMask));
+}
+
+Block128
+RmccOtpEngine::addressOnlyEnc(std::uint64_t address, unsigned word) const
+{
+    // mu || address || word in the high half, 64 zero bits appended.
+    const std::uint64_t hi =
+        (kMuEncrypt << 56) | ((address & kAddrMask) << 8) | (word & 0xff);
+    return enc_key_.encrypt(makeBlock(hi, 0));
+}
+
+Block128
+RmccOtpEngine::addressOnlyMac(std::uint64_t address) const
+{
+    const std::uint64_t hi = (kMuMac << 56) | ((address & kAddrMask) << 8);
+    return mac_key_.encrypt(makeBlock(hi, 0));
+}
+
+Block128
+RmccOtpEngine::combine(const Block128 &counter_only,
+                       const Block128 &address_only)
+{
+    return truncmulMiddle(counter_only, address_only);
+}
+
+Block128
+RmccOtpEngine::encryptionOtp(std::uint64_t address, unsigned word,
+                             std::uint64_t counter) const
+{
+    return combine(counterOnlyEnc(counter), addressOnlyEnc(address, word));
+}
+
+Block128
+RmccOtpEngine::macOtp(std::uint64_t address, std::uint64_t counter) const
+{
+    return combine(counterOnlyMac(counter), addressOnlyMac(address));
+}
+
+DataBlock
+BlockCodec::encode(const DataBlock &block, std::uint64_t address,
+                   std::uint64_t counter) const
+{
+    DataBlock out;
+    for (unsigned w = 0; w < kWordsPerBlock; ++w)
+        out[w] = block[w] ^ engine_.encryptionOtp(address, w, counter);
+    return out;
+}
+
+} // namespace rmcc::crypto

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-bank DRAM state machine: open row, busy window, row-timeout policy.
+ */
+#ifndef RMCC_DRAM_BANK_HPP
+#define RMCC_DRAM_BANK_HPP
+
+#include <cstdint>
+
+#include "address/types.hpp"
+#include "dram/config.hpp"
+
+namespace rmcc::dram
+{
+
+/** Row-buffer outcome of a column access. */
+enum class RowOutcome
+{
+    Hit,      //!< Row already open.
+    Closed,   //!< Bank precharged (e.g. after timeout): ACT needed.
+    Conflict, //!< Different row open: PRE + ACT needed.
+};
+
+/**
+ * Timing state of one DRAM bank.
+ */
+class Bank
+{
+  public:
+    /**
+     * Issue a column access to `row` at earliest time `t_ns`.
+     *
+     * @param t_ns earliest issue time (ns).
+     * @param row target row.
+     * @param cfg timing parameters.
+     * @param[out] outcome row-buffer outcome for statistics.
+     * @return time the requested data is available at the bank (before
+     *         bus transfer), ns.
+     */
+    double issue(double t_ns, std::uint64_t row, const DramConfig &cfg,
+                 RowOutcome &outcome);
+
+    /** Open row, or -1 when precharged. */
+    std::int64_t openRow() const { return open_row_; }
+
+    /** Earliest time the bank can accept a new command. */
+    double readyAt() const { return ready_ns_; }
+
+  private:
+    std::int64_t open_row_ = -1;
+    double ready_ns_ = 0.0;
+    double last_use_ns_ = -1.0e18;
+};
+
+} // namespace rmcc::dram
+
+#endif // RMCC_DRAM_BANK_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * DDR4 timing/geometry parameters (paper Table I defaults).
+ */
+#ifndef RMCC_DRAM_CONFIG_HPP
+#define RMCC_DRAM_CONFIG_HPP
+
+#include <cstdint>
+
+#include "address/types.hpp"
+
+namespace rmcc::dram
+{
+
+/** Geometry and timing of the DDR4 subsystem. */
+struct DramConfig
+{
+    unsigned channels = 1;          //!< Table I: 1 channel.
+    unsigned ranks = 8;             //!< Table I: 8 ranks.
+    unsigned banks_per_rank = 16;   //!< DDR4: 4 bank groups x 4 banks.
+    std::uint64_t row_bytes = 8192; //!< Row buffer size per bank.
+
+    double data_rate_gtps = 3.2;    //!< 3.2 GT/s.
+    unsigned bus_bytes = 8;         //!< 64-bit channel.
+
+    double tCL_ns = 13.75;
+    double tRCD_ns = 13.75;
+    double tRP_ns = 13.75;
+    double tRFC_ns = 350.0;
+    double tREFI_ns = 7800.0;       //!< Refresh interval.
+    double row_timeout_ns = 500.0;  //!< Table I: 500 ns open-row timeout.
+
+    unsigned queue_entries = 256;   //!< Read/write queue capacity.
+    unsigned frfcfs_cap = 4;        //!< FR-FCFS-Capped: max consecutive
+                                    //!< row hits that may bypass older
+                                    //!< row-miss requests.
+
+    /** Burst transfer time for one 64 B block, ns. */
+    double burstNs() const
+    {
+        const double beats =
+            static_cast<double>(addr::kBlockSize) / bus_bytes;
+        return beats / data_rate_gtps; // 8 beats / 3.2 GT/s = 2.5 ns
+    }
+
+    /** Peak channel bandwidth, bytes per ns. */
+    double peakBytesPerNs() const { return data_rate_gtps * bus_bytes; }
+};
+
+} // namespace rmcc::dram
+
+#endif // RMCC_DRAM_CONFIG_HPP

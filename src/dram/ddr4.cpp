@@ -1,0 +1,52 @@
+#include "dram/ddr4.hpp"
+
+namespace rmcc::dram
+{
+
+Ddr4::Ddr4(const DramConfig &cfg) : cfg_(cfg), mapper_(cfg)
+{
+    channels_.reserve(cfg_.channels);
+    for (unsigned c = 0; c < cfg_.channels; ++c)
+        channels_.emplace_back(cfg_, c);
+}
+
+DramCompletion
+Ddr4::access(addr::Addr a, bool is_write, double t_ns)
+{
+    const DramCoord coord = mapper_.decode(a);
+    return channels_[coord.channel].serve(coord, is_write, t_ns);
+}
+
+std::uint64_t
+Ddr4::totalAccesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : channels_)
+        n += c.stats().reads + c.stats().writes;
+    return n;
+}
+
+ChannelStats
+Ddr4::aggregateStats() const
+{
+    ChannelStats agg;
+    for (const auto &c : channels_) {
+        const auto &s = c.stats();
+        agg.reads += s.reads;
+        agg.writes += s.writes;
+        agg.row_hits += s.row_hits;
+        agg.row_closed += s.row_closed;
+        agg.row_conflicts += s.row_conflicts;
+        agg.bus_busy_ns += s.bus_busy_ns;
+    }
+    return agg;
+}
+
+void
+Ddr4::resetStats()
+{
+    for (auto &c : channels_)
+        c.resetStats();
+}
+
+} // namespace rmcc::dram

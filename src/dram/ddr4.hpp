@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DDR4 memory-system front end: address decode plus per-channel timing.
+ * Plays the role Ramulator plays in the paper's evaluation.
+ */
+#ifndef RMCC_DRAM_DDR4_HPP
+#define RMCC_DRAM_DDR4_HPP
+
+#include <memory>
+#include <vector>
+
+#include "dram/channel.hpp"
+
+namespace rmcc::dram
+{
+
+/**
+ * Whole DRAM subsystem.
+ */
+class Ddr4
+{
+  public:
+    explicit Ddr4(const DramConfig &cfg = DramConfig());
+
+    /**
+     * Serve a 64 B transfer for byte address a at earliest time t_ns.
+     * Writes are posted (see Channel); the returned time is when the burst
+     * finishes on the bus.
+     */
+    DramCompletion access(addr::Addr a, bool is_write, double t_ns);
+
+    /** Total 64 B transfers served. */
+    std::uint64_t totalAccesses() const;
+
+    /** Sum of per-channel stats. */
+    ChannelStats aggregateStats() const;
+
+    const DramConfig &config() const { return cfg_; }
+
+    void resetStats();
+
+  private:
+    DramConfig cfg_;
+    AddressMapper mapper_;
+    std::vector<Channel> channels_;
+};
+
+} // namespace rmcc::dram
+
+#endif // RMCC_DRAM_DDR4_HPP

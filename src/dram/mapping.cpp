@@ -1,0 +1,50 @@
+#include "dram/mapping.hpp"
+
+#include <bit>
+
+namespace rmcc::dram
+{
+
+namespace
+{
+
+unsigned
+log2u(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::bit_width(v) - 1);
+}
+
+} // namespace
+
+AddressMapper::AddressMapper(const DramConfig &cfg) : cfg_(cfg)
+{
+    col_bits_ = log2u(cfg_.row_bytes / addr::kBlockSize);
+    bank_bits_ = log2u(cfg_.banks_per_rank);
+    rank_bits_ = cfg_.ranks > 1 ? log2u(cfg_.ranks) : 0;
+    chan_bits_ = cfg_.channels > 1 ? log2u(cfg_.channels) : 0;
+}
+
+DramCoord
+AddressMapper::decode(addr::Addr a) const
+{
+    // Bit layout (low to high): block offset | column | channel | bank |
+    // rank | row.  The bank field is XOR-hashed with the low row bits.
+    std::uint64_t x = a >> addr::kBlockShift;
+    DramCoord c{};
+    c.column = x & ((1ULL << col_bits_) - 1);
+    x >>= col_bits_;
+    c.channel = static_cast<unsigned>(x & ((1ULL << chan_bits_) - 1));
+    x >>= chan_bits_;
+    const auto bank_raw =
+        static_cast<unsigned>(x & ((1ULL << bank_bits_) - 1));
+    x >>= bank_bits_;
+    c.rank = static_cast<unsigned>(x & ((1ULL << rank_bits_) - 1));
+    x >>= rank_bits_;
+    c.row = x;
+    // Skylake-style XOR hash: fold the low row bits into the bank index.
+    c.bank = bank_raw ^
+             static_cast<unsigned>(c.row & ((1ULL << bank_bits_) - 1));
+    return c;
+}
+
+} // namespace rmcc::dram

@@ -1,0 +1,35 @@
+#include "mc/latency.hpp"
+
+#include <algorithm>
+
+namespace rmcc::mc
+{
+
+/**
+ * Fig 5 walkthrough: anatomy of a read whose counter misses, with and
+ * without memoization, under given DRAM latencies.  Kept here (not in the
+ * bench) so tests can pin the arithmetic down.
+ */
+ReadAnatomy
+fig5Anatomy(double data_dram_ns, double ctr_dram_ns, double decode_ns,
+            const LatencyConfig &lat, bool memoized)
+{
+    ReadAnatomy a{};
+    a.data_ready_ns = data_dram_ns;
+    a.counter_ready_ns = ctr_dram_ns + decode_ns;
+    // Address-only AES starts at t=0 (the address is always known); the
+    // counter contribution is either a memo lookup + CLMUL or a full AES
+    // serialized after the counter arrives.
+    const double ctr_contrib =
+        memoized ? lat.clmul_ns : lat.aes_ns;
+    a.otp_ready_ns =
+        std::max(a.counter_ready_ns + ctr_contrib, lat.aes_ns);
+    a.verified_ns =
+        std::max(a.data_ready_ns, a.otp_ready_ns) + lat.mac_dot_ns;
+    a.done_ns = std::max(
+        std::max(a.data_ready_ns, a.otp_ready_ns) + lat.otp_xor_ns,
+        a.verified_ns);
+    return a;
+}
+
+} // namespace rmcc::mc

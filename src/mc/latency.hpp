@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-latency parameters of the secure memory controller's datapath
+ * (paper Table I) and helpers shared by the timing model.
+ */
+#ifndef RMCC_MC_LATENCY_HPP
+#define RMCC_MC_LATENCY_HPP
+
+namespace rmcc::mc
+{
+
+/** Cryptography/datapath latencies, in nanoseconds. */
+struct LatencyConfig
+{
+    double aes_ns = 15.0;       //!< AES-128 under 7 nm synthesis [4].
+    double clmul_ns = 1.0;      //!< Truncated carry-less multiply.
+    double mac_dot_ns = 1.0;    //!< GF dot product + compare.
+    double otp_xor_ns = 0.25;   //!< OTP XOR with the 64 B block.
+    double ctr_cache_ns = 1.0;  //!< Counter-cache hit latency.
+
+    /** The AES-256 sensitivity point (paper Fig 17). */
+    static LatencyConfig aes256()
+    {
+        LatencyConfig l;
+        l.aes_ns = 22.0;
+        return l;
+    }
+};
+
+/**
+ * Latency anatomy of one secured read, for the Fig 5 walkthrough and
+ * diagnostics.
+ */
+struct ReadAnatomy
+{
+    double data_ready_ns;    //!< DRAM data arrival.
+    double counter_ready_ns; //!< Counter value known (cache or DRAM+decode).
+    double otp_ready_ns;     //!< Encryption OTP available.
+    double verified_ns;      //!< MAC verification complete.
+    double done_ns;          //!< Load usable by the core.
+};
+
+/**
+ * Fig 5 walkthrough: latency anatomy of a counter-missing read with or
+ * without memoization.
+ *
+ * @param data_dram_ns DRAM latency of the data block.
+ * @param ctr_dram_ns DRAM latency of the counter block.
+ * @param decode_ns counter-block decode latency (3 ns for Morphable).
+ * @param lat datapath latencies.
+ * @param memoized counter value hits the memoization table.
+ */
+ReadAnatomy fig5Anatomy(double data_dram_ns, double ctr_dram_ns,
+                        double decode_ns, const LatencyConfig &lat,
+                        bool memoized);
+
+} // namespace rmcc::mc
+
+#endif // RMCC_MC_LATENCY_HPP

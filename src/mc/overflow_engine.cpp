@@ -1,0 +1,49 @@
+#include "mc/overflow_engine.hpp"
+
+#include <algorithm>
+
+namespace rmcc::mc
+{
+
+OverflowEngine::OverflowEngine(dram::Ddr4 &dram, unsigned max_outstanding)
+    : dram_(dram), max_outstanding_(max_outstanding)
+{
+}
+
+OverflowIssue
+OverflowEngine::schedule(addr::Addr base_addr, std::uint64_t blocks,
+                         double now_ns)
+{
+    // Retire finished overflows.
+    std::erase_if(in_flight_, [&](double t) { return t <= now_ns; });
+
+    double start = now_ns;
+    if (in_flight_.size() >= max_outstanding_) {
+        // The MC rejects LLC requests until a slot frees: the core stalls
+        // to the earliest in-flight completion.
+        const double earliest =
+            *std::min_element(in_flight_.begin(), in_flight_.end());
+        stall_ns_ += earliest - now_ns;
+        start = earliest;
+        std::erase_if(in_flight_,
+                      [&](double t) { return t <= start; });
+    }
+
+    // Drain the read+write pairs; issuing through the DRAM model makes the
+    // background traffic contend for banks and bus with demand requests.
+    // Blocks are issued in parallel (the shared-bus serialization in the
+    // channel model paces them); each block's rewrite follows its read.
+    double done = start;
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        const addr::Addr a = base_addr + b * addr::kBlockSize;
+        const double read_done = dram_.access(a, false, start).done_ns;
+        const double write_done = dram_.access(a, true, read_done).done_ns;
+        done = std::max(done, write_done);
+    }
+    accesses_ += 2 * blocks;
+    ++count_;
+    in_flight_.push_back(done);
+    return {start, done, 2 * blocks};
+}
+
+} // namespace rmcc::mc

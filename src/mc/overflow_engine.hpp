@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Counter-overflow re-encryption engine (paper Sec V).
+ *
+ * A split-counter overflow forces re-encrypting every block the counter
+ * block covers: each block is read, re-encrypted under the new counter,
+ * and written back.  The paper allows at most two outstanding overflows —
+ * the MC rejects LLC requests that would start a third — and drains
+ * overflow traffic in the background a few 64 B requests at a time so it
+ * cannot seize the read/write queue.
+ */
+#ifndef RMCC_MC_OVERFLOW_ENGINE_HPP
+#define RMCC_MC_OVERFLOW_ENGINE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "address/types.hpp"
+#include "dram/ddr4.hpp"
+
+namespace rmcc::mc
+{
+
+/** Outcome of scheduling one overflow. */
+struct OverflowIssue
+{
+    double stall_until_ns;  //!< Core stalls to here if a slot had to free.
+    double drain_done_ns;   //!< When the re-encryption finishes.
+    std::uint64_t accesses; //!< 64 B DRAM transfers generated (2/block).
+};
+
+/**
+ * Background re-encryption engine with a two-overflow cap.
+ */
+class OverflowEngine
+{
+  public:
+    /**
+     * @param dram DRAM model to charge the re-encryption traffic to.
+     * @param max_outstanding overflow slots (2 in the paper).
+     */
+    OverflowEngine(dram::Ddr4 &dram, unsigned max_outstanding = 2);
+
+    /**
+     * Schedule re-encryption of `blocks` blocks starting at base_addr.
+     *
+     * @param base_addr first covered block's physical address.
+     * @param blocks covered blocks to read + rewrite.
+     * @param now_ns current time.
+     */
+    OverflowIssue schedule(addr::Addr base_addr, std::uint64_t blocks,
+                           double now_ns);
+
+    /** Number of overflows scheduled. */
+    std::uint64_t overflowCount() const { return count_; }
+
+    /** Total 64 B accesses generated. */
+    std::uint64_t totalAccesses() const { return accesses_; }
+
+    /** Total core-visible stall time caused by the 2-outstanding cap. */
+    double totalStallNs() const { return stall_ns_; }
+
+  private:
+    dram::Ddr4 &dram_;
+    unsigned max_outstanding_;
+    std::vector<double> in_flight_; // completion times
+    std::uint64_t count_ = 0;
+    std::uint64_t accesses_ = 0;
+    double stall_ns_ = 0.0;
+};
+
+} // namespace rmcc::mc
+
+#endif // RMCC_MC_OVERFLOW_ENGINE_HPP

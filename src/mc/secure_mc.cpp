@@ -1,0 +1,284 @@
+#include "mc/secure_mc.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace rmcc::mc
+{
+
+SecureMc::SecureMc(const McConfig &cfg, ctr::IntegrityTree &tree,
+                   core::RmccEngine &engine, dram::Ddr4 &dram)
+    : cfg_(cfg), tree_(tree), engine_(engine), dram_(dram),
+      ctr_cache_("counter-cache", cfg.counter_cache_bytes,
+                 cfg.counter_cache_assoc),
+      ovf_(dram)
+{
+}
+
+double
+SecureMc::chargeDram(addr::Addr a, bool is_write, double now_ns,
+                     const char *category)
+{
+    stats_.inc(std::string("dram.") + category);
+    stats_.inc("dram.total");
+    engine_.onDramAccess();
+    return dram_.access(a, is_write, now_ns).done_ns;
+}
+
+std::pair<double, bool>
+SecureMc::touchCounterBlock(unsigned level, addr::CounterBlockId cb,
+                            bool dirty, double now_ns)
+{
+    const addr::Addr a = tree_.blockAddr(level, cb);
+    const double decode = tree_.level(level).decodeLatencyNs();
+    if (ctr_cache_.probe(a)) {
+        ctr_cache_.access(a, dirty);
+        return {now_ns + cfg_.lat.ctr_cache_ns + decode, false};
+    }
+    const double done = chargeDram(a, false, now_ns, "ctr_read");
+    const cache::AccessResult fill = ctr_cache_.fill(a, dirty);
+    if (fill.writeback) {
+        // Dirty victim: identify its level and block id from the address.
+        for (unsigned l = 0; l < tree_.levels(); ++l) {
+            const addr::Addr base = tree_.blockAddr(l, 0);
+            const addr::Addr end =
+                base + tree_.blocksAt(l) * addr::kBlockSize;
+            if (fill.victim_addr >= base && fill.victim_addr < end) {
+                counterWriteback(
+                    l, (fill.victim_addr - base) >> addr::kBlockShift,
+                    now_ns);
+                break;
+            }
+        }
+    }
+    return {done + decode, true};
+}
+
+void
+SecureMc::counterWriteback(unsigned level, addr::CounterBlockId cb,
+                           double now_ns)
+{
+    // Writing a counter block back to memory bumps its own counter, which
+    // lives one level up (the on-chip root needs no update traffic).
+    if (level + 1 < tree_.levels()) {
+        const core::UpdateOutcome out =
+            engine_.onWriteCounter(level + 1, cb);
+        if (out.reencrypt_blocks > 0) {
+            const std::uint64_t first =
+                (cb / tree_.level(level + 1).coverage()) *
+                tree_.level(level + 1).coverage();
+            chargeOverflow(level + 1, first, out.reencrypt_blocks, now_ns);
+        }
+        // The parent counter block must be present and dirty.
+        const addr::CounterBlockId parent =
+            cb / tree_.level(level + 1).coverage();
+        touchCounterBlock(level + 1, parent, true, now_ns);
+    }
+    chargeDram(tree_.blockAddr(level, cb), true, now_ns, "ctr_write");
+    stats_.inc("ctr.writebacks");
+}
+
+double
+SecureMc::chargeOverflow(unsigned level, std::uint64_t first_entity,
+                         std::uint64_t blocks, double now_ns)
+{
+    // Covered entities of a level-k overflow are data blocks (k = 0) or
+    // level k-1 counter blocks (k >= 1); each is read and rewritten.
+    addr::Addr base;
+    const char *category;
+    if (level == 0) {
+        base = first_entity * addr::kBlockSize;
+        category = "ovf0";
+    } else {
+        base = tree_.blockAddr(level - 1, first_entity);
+        category = "ovf_hi";
+    }
+    const OverflowIssue issue = ovf_.schedule(base, blocks, now_ns);
+    for (std::uint64_t i = 0; i < issue.accesses; ++i) {
+        stats_.inc(std::string("dram.") + category);
+        stats_.inc("dram.total");
+        engine_.onDramAccess();
+    }
+    stats_.inc("ovf.count");
+    if (level == 0)
+        stats_.inc("ovf.l0");
+    else
+        stats_.inc("ovf.hi");
+    return issue.stall_until_ns;
+}
+
+void
+SecureMc::chargeReadUpdate(unsigned level, std::uint64_t entity,
+                           const core::ReadConsult &consult, double now_ns)
+{
+    if (!consult.releveled)
+        return;
+    // The whole counter block was releveled: every covered entity is
+    // re-encrypted under the new shared counter (read + write each),
+    // drained through the overflow engine like any block re-encryption.
+    stats_.inc("rmcc.read_updates");
+    if (consult.reencrypt_blocks > 0) {
+        const unsigned cov = tree_.level(level).coverage();
+        const std::uint64_t first = (entity / cov) * cov;
+        chargeOverflow(level, first, consult.reencrypt_blocks, now_ns);
+    }
+    // Its counter block is now dirty.
+    touchCounterBlock(level, entity / tree_.level(level).coverage(), true,
+                      now_ns);
+}
+
+McReadResult
+SecureMc::read(addr::Addr paddr, double now_ns)
+{
+    McReadResult res;
+    stats_.inc("mc.reads");
+
+    const double data_done = chargeDram(paddr, false, now_ns, "data_read");
+    if (!cfg_.secure) {
+        res.done_ns = data_done;
+        stats_.inc("lat.read_sum_ns", res.done_ns - now_ns);
+        return res;
+    }
+
+    const addr::BlockId blk = addr::blockOf(paddr);
+    const unsigned levels = tree_.levels();
+
+    // Walk up the tree until the counter cache hits (or the root).
+    // entity[k] is the thing whose counter level k stores; block_id[k] is
+    // the counter block at level k that holds it.
+    std::vector<std::uint64_t> entity(levels + 1);
+    std::vector<addr::CounterBlockId> block_id(levels);
+    std::vector<double> known(levels + 1, now_ns);
+    entity[0] = blk;
+    unsigned hit_level = levels; // levels = walked to the on-chip root
+    for (unsigned k = 0; k < levels; ++k) {
+        block_id[k] = entity[k] / tree_.level(k).coverage();
+        if (k + 1 <= levels)
+            entity[k + 1] = block_id[k];
+        const auto [t, missed] =
+            touchCounterBlock(k, block_id[k], false, now_ns);
+        known[k] = t;
+        if (!missed) {
+            hit_level = k;
+            break;
+        }
+        stats_.inc(k == 0 ? "ctr.l0_miss" : "ctr.hi_miss");
+    }
+    res.counter_miss = hit_level != 0;
+    if (!res.counter_miss)
+        stats_.inc("ctr.l0_hit");
+
+    // Consult RMCC for every counter value this read uses: level 0 always
+    // (data OTPs), level k >= 1 only when level k-1's block was fetched
+    // (its MAC needs the level-k value).
+    std::vector<core::ReadConsult> consult(levels + 1);
+    consult[0] = engine_.onReadCounterUse(0, entity[0]);
+    chargeReadUpdate(0, entity[0], consult[0], now_ns);
+    const unsigned walked = std::min(hit_level, levels);
+    for (unsigned k = 1; k <= walked && k < levels; ++k) {
+        consult[k] = engine_.onReadCounterUse(k, entity[k]);
+        chargeReadUpdate(k, entity[k], consult[k], now_ns);
+    }
+
+    res.memo_hit = consult[0].hit != core::MemoHit::Miss;
+    if (res.counter_miss) {
+        stats_.inc("memo.l0_lookups_on_miss");
+        if (res.memo_hit) {
+            stats_.inc("memo.l0_hit_on_miss");
+            if (consult[0].hit == core::MemoHit::GroupHit)
+                stats_.inc("memo.l0_group_hit_on_miss");
+            else
+                stats_.inc("memo.l0_recent_hit_on_miss");
+        }
+    }
+    if (res.memo_hit)
+        stats_.inc("memo.l0_hit_all");
+    stats_.inc("memo.l0_lookups_all");
+
+    // Counter-value contribution latency at a level: memoized values need
+    // only the CLMUL combine; otherwise AES runs after the value is known
+    // (plus the combine under RMCC's split OTP).
+    auto ctr_contrib = [&](unsigned k) {
+        if (!engine_.enabled())
+            return cfg_.lat.aes_ns;
+        if (k < engine_.memoLevels() &&
+            consult[k].hit != core::MemoHit::Miss)
+            return cfg_.lat.clmul_ns;
+        return cfg_.lat.aes_ns + cfg_.lat.clmul_ns;
+    };
+
+    // Verification chain from the trust point down to level 0.
+    // verified[k] = when the level-k block fetched from memory is trusted.
+    std::vector<double> verified(levels + 1, now_ns);
+    if (hit_level < levels)
+        verified[hit_level] = known[hit_level]; // cached => pre-verified
+    for (int k = static_cast<int>(std::min(hit_level, levels)) - 1; k >= 0;
+         --k) {
+        const auto ku = static_cast<unsigned>(k);
+        // MAC of the fetched level-k block uses the level-(k+1) value.
+        // The address-only AES overlaps the fetch; the value contribution
+        // starts when the value is known and the source block trusted.
+        const double otp_ready =
+            std::max(known[ku + 1], verified[ku + 1]) + ctr_contrib(ku + 1);
+        verified[ku] = std::max(known[ku], otp_ready) + cfg_.lat.mac_dot_ns;
+    }
+
+    // Data decryption and verification.
+    const double otp0 =
+        std::max(known[0] + ctr_contrib(0), now_ns + cfg_.lat.aes_ns);
+    const double trusted0 =
+        hit_level == 0 ? known[0] : verified[0];
+    const double decrypted =
+        std::max(data_done, otp0) + cfg_.lat.otp_xor_ns;
+    const double data_verified =
+        std::max({data_done, otp0, trusted0}) + cfg_.lat.mac_dot_ns;
+    res.done_ns = std::max(decrypted, data_verified);
+
+    // Headline stat (Sec VI): a counter miss counts as accelerated when
+    // the L0 value is memoized and the L1 value is either cached or
+    // memoized.
+    if (res.counter_miss && res.memo_hit) {
+        const bool l1_fast =
+            hit_level == 1 ||
+            (levels > 1 && consult[1].hit != core::MemoHit::Miss);
+        res.accelerated = l1_fast || hit_level >= levels;
+        if (res.accelerated)
+            stats_.inc("memo.accelerated_misses");
+    }
+
+    stats_.inc("lat.read_sum_ns", res.done_ns - now_ns);
+    return res;
+}
+
+double
+SecureMc::write(addr::Addr paddr, double now_ns)
+{
+    stats_.inc("mc.writes");
+    if (!cfg_.secure) {
+        chargeDram(paddr, true, now_ns, "data_write");
+        return now_ns;
+    }
+
+    const addr::BlockId blk = addr::blockOf(paddr);
+    const core::UpdateOutcome out = engine_.onWriteCounter(0, blk);
+    if (out.used_memo_target)
+        stats_.inc("rmcc.memo_write_updates");
+    double stall = now_ns;
+    if (out.reencrypt_blocks > 0) {
+        const unsigned cov = tree_.level(0).coverage();
+        const std::uint64_t first = (blk / cov) * cov;
+        stall = std::max(
+            stall, chargeOverflow(0, first, out.reencrypt_blocks, now_ns));
+    }
+
+    // The L0 counter block is read-modified: it must be resident and
+    // becomes dirty.
+    touchCounterBlock(0, blk / tree_.level(0).coverage(), true, now_ns);
+
+    // Encrypt + write the data (posted; OTP generation is off the
+    // critical path because the counter is already in the MC).
+    chargeDram(paddr, true, now_ns, "data_write");
+    return stall;
+}
+
+} // namespace rmcc::mc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The secure memory controller: counter cache, integrity-tree walk, OTP
+ * latency accounting, RMCC consultation, and overflow handling — the
+ * component every timing experiment in the paper exercises.
+ */
+#ifndef RMCC_MC_SECURE_MC_HPP
+#define RMCC_MC_SECURE_MC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/set_assoc.hpp"
+#include "core/rmcc_engine.hpp"
+#include "counters/tree.hpp"
+#include "dram/ddr4.hpp"
+#include "mc/latency.hpp"
+#include "mc/overflow_engine.hpp"
+#include "util/stats.hpp"
+
+namespace rmcc::mc
+{
+
+/** Memory-controller configuration (Table I defaults). */
+struct McConfig
+{
+    bool secure = true;               //!< false = non-secure baseline.
+    std::uint64_t counter_cache_bytes = 128 * 1024;
+    unsigned counter_cache_assoc = 32;
+    LatencyConfig lat;
+};
+
+/** Core-visible outcome of one LLC-miss read. */
+struct McReadResult
+{
+    double done_ns = 0.0;     //!< When the load's value is usable.
+    bool counter_miss = false; //!< L0 counter block missed in the cache.
+    bool memo_hit = false;     //!< L0 counter value was memoized.
+    bool accelerated = false;  //!< Counter miss fully served by RMCC
+                               //!< (L0 memo hit, L1 cached or memoized).
+};
+
+/**
+ * Secure memory controller model.
+ *
+ * Borrows the integrity tree, RMCC engine, and DRAM; they must outlive
+ * the controller.  The counter cache holds L0 counter blocks and all
+ * integrity-tree nodes, as in SGX.
+ */
+class SecureMc
+{
+  public:
+    SecureMc(const McConfig &cfg, ctr::IntegrityTree &tree,
+             core::RmccEngine &engine, dram::Ddr4 &dram);
+
+    /** Serve an LLC-miss read of the data block at paddr. */
+    McReadResult read(addr::Addr paddr, double now_ns);
+
+    /**
+     * Serve an LLC writeback of the data block at paddr.  Writes are
+     * posted; the returned time is only later than now_ns when the
+     * two-outstanding-overflow cap stalls the core.
+     */
+    double write(addr::Addr paddr, double now_ns);
+
+    /** Named statistics (dram.* traffic categories, memo.*, ctr.*). */
+    const util::StatSet &stats() const { return stats_; }
+    util::StatSet &stats() { return stats_; }
+
+    const cache::SetAssocCache &counterCache() const { return ctr_cache_; }
+    const OverflowEngine &overflowEngine() const { return ovf_; }
+
+  private:
+    /** One DRAM transfer with category accounting and epoch advance. */
+    double chargeDram(addr::Addr a, bool is_write, double now_ns,
+                      const char *category);
+
+    /**
+     * Ensure a counter block is present in the counter cache; returns the
+     * time its (decoded) content is available and whether it missed.
+     */
+    std::pair<double, bool> touchCounterBlock(unsigned level,
+                                              addr::CounterBlockId cb,
+                                              bool dirty, double now_ns);
+
+    /** Handle a dirty counter-block eviction from the counter cache. */
+    void counterWriteback(unsigned level, addr::CounterBlockId cb,
+                          double now_ns);
+
+    /** Charge an overflow's re-encryption of `blocks` covered entities. */
+    double chargeOverflow(unsigned level, std::uint64_t first_entity,
+                          std::uint64_t blocks, double now_ns);
+
+    /** Apply a read-consult's relevel side effects (traffic). */
+    void chargeReadUpdate(unsigned level, std::uint64_t entity,
+                          const core::ReadConsult &consult, double now_ns);
+
+    McConfig cfg_;
+    ctr::IntegrityTree &tree_;
+    core::RmccEngine &engine_;
+    dram::Ddr4 &dram_;
+    cache::SetAssocCache ctr_cache_;
+    OverflowEngine ovf_;
+    util::StatSet stats_;
+};
+
+} // namespace rmcc::mc
+
+#endif // RMCC_MC_SECURE_MC_HPP

@@ -1,0 +1,65 @@
+#include "sim/cpu_model.hpp"
+
+#include <algorithm>
+
+namespace rmcc::sim
+{
+
+CpuModel::CpuModel(const CpuConfig &cfg)
+    : cfg_(cfg),
+      ns_per_inst_(1.0 / (cfg.freq_ghz * cfg.width))
+{
+}
+
+void
+CpuModel::enforceLimits()
+{
+    // Window limit: an op older than (insts_ - rob) must have retired for
+    // the current instruction to even enter the window.
+    while (!outstanding_.empty()) {
+        const Outstanding &oldest = outstanding_.front();
+        const bool window_full =
+            insts_ - oldest.inst_at_issue >= cfg_.rob;
+        const bool mshrs_full = outstanding_.size() >= cfg_.mshrs;
+        if (!window_full && !mshrs_full)
+            break;
+        now_ns_ = std::max(now_ns_, oldest.done_ns);
+        outstanding_.pop_front();
+    }
+    // Anything already complete can leave the queue.
+    while (!outstanding_.empty() &&
+           outstanding_.front().done_ns <= now_ns_)
+        outstanding_.pop_front();
+}
+
+double
+CpuModel::advance(std::uint32_t inst_gap)
+{
+    insts_ += inst_gap + 1;
+    now_ns_ += static_cast<double>(inst_gap + 1) * ns_per_inst_;
+    enforceLimits();
+    return now_ns_;
+}
+
+void
+CpuModel::recordLongLatency(double done_ns)
+{
+    outstanding_.push_back({done_ns, insts_});
+}
+
+void
+CpuModel::stallUntil(double t_ns)
+{
+    now_ns_ = std::max(now_ns_, t_ns);
+}
+
+double
+CpuModel::finish()
+{
+    for (const Outstanding &o : outstanding_)
+        now_ns_ = std::max(now_ns_, o.done_ns);
+    outstanding_.clear();
+    return now_ns_;
+}
+
+} // namespace rmcc::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Trace-driven out-of-order CPU proxy (the role gem5's O3 core plays in
+ * the paper): 4-wide retire from a 192-entry window, with memory-level
+ * parallelism limited by the window and by MSHRs.
+ *
+ * The model retires instructions at the pipeline width; long-latency
+ * memory operations enter an outstanding queue and overlap until either
+ * (a) the reorder window fills — the clock then waits for the oldest
+ * outstanding completion — or (b) MSHRs run out.
+ */
+#ifndef RMCC_SIM_CPU_MODEL_HPP
+#define RMCC_SIM_CPU_MODEL_HPP
+
+#include <cstdint>
+#include <deque>
+
+namespace rmcc::sim
+{
+
+/** Core parameters (Table I). */
+struct CpuConfig
+{
+    double freq_ghz = 3.2;  //!< Core clock.
+    unsigned width = 4;     //!< Retire width (4-wide OoO).
+    unsigned rob = 192;     //!< Reorder-buffer entries.
+    unsigned mshrs = 16;    //!< Outstanding long-latency memory ops.
+};
+
+/**
+ * Limited-window OoO timing proxy.
+ */
+class CpuModel
+{
+  public:
+    explicit CpuModel(const CpuConfig &cfg = CpuConfig());
+
+    /**
+     * Account for inst_gap non-memory instructions plus the memory
+     * instruction itself, then return the memory op's issue time (ns).
+     */
+    double advance(std::uint32_t inst_gap);
+
+    /**
+     * Register a long-latency operation (LLC hit or memory access) that
+     * completes at done_ns; it occupies the window until then.
+     */
+    void recordLongLatency(double done_ns);
+
+    /** Force the clock to at least t_ns (e.g. MC overflow stalls). */
+    void stallUntil(double t_ns);
+
+    /** Drain all outstanding operations; returns the final time. */
+    double finish();
+
+    /** Current retire-time estimate (ns). */
+    double now() const { return now_ns_; }
+
+    /** Instructions accounted so far. */
+    std::uint64_t instructions() const { return insts_; }
+
+  private:
+    struct Outstanding
+    {
+        double done_ns;
+        std::uint64_t inst_at_issue;
+    };
+
+    /** Apply window/MSHR limits at the current instruction count. */
+    void enforceLimits();
+
+    CpuConfig cfg_;
+    double ns_per_inst_;
+    double now_ns_ = 0.0;
+    std::uint64_t insts_ = 0;
+    std::deque<Outstanding> outstanding_;
+};
+
+} // namespace rmcc::sim
+
+#endif // RMCC_SIM_CPU_MODEL_HPP

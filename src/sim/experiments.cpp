@@ -1,0 +1,82 @@
+#include "sim/experiments.hpp"
+
+#include <cstdlib>
+
+namespace rmcc::sim
+{
+
+SimResult
+runOne(const std::string &workload_name, const trace::TraceBuffer &trace,
+       const NamedConfig &nc)
+{
+    SimResult r = nc.cfg.mode == SimMode::Timing
+                      ? runTiming(workload_name, trace, nc.cfg)
+                      : runFunctional(workload_name, trace, nc.cfg);
+    r.config_label = nc.label;
+    return r;
+}
+
+SuiteRow
+runWorkload(const wl::Workload &w, const std::vector<NamedConfig> &configs)
+{
+    SuiteRow row;
+    row.workload = w.name;
+    const trace::TraceBuffer trace = wl::generateTrace(
+        w, configs.front().cfg.trace_records, configs.front().cfg.seed);
+    for (const NamedConfig &nc : configs)
+        row.results.push_back(runOne(w.name, trace, nc));
+    return row;
+}
+
+std::vector<SuiteRow>
+runSuite(const std::vector<NamedConfig> &configs)
+{
+    std::vector<SuiteRow> rows;
+    for (const wl::Workload &w : wl::workloadSuite())
+        rows.push_back(runWorkload(w, configs));
+    return rows;
+}
+
+NamedConfig
+nonSecureConfig(SimMode mode)
+{
+    SystemConfig cfg = mode == SimMode::Timing
+                           ? SystemConfig::timingDefault()
+                           : SystemConfig::functionalDefault();
+    cfg.secure = false;
+    return {"non-secure", cfg};
+}
+
+NamedConfig
+baselineConfig(SimMode mode, ctr::SchemeKind scheme)
+{
+    SystemConfig cfg = mode == SimMode::Timing
+                           ? SystemConfig::timingDefault()
+                           : SystemConfig::functionalDefault();
+    cfg.scheme = scheme;
+    cfg.rmcc = false;
+    return {ctr::schemeKindName(scheme), cfg};
+}
+
+NamedConfig
+rmccConfig(SimMode mode)
+{
+    NamedConfig nc = baselineConfig(mode, ctr::SchemeKind::Morphable);
+    nc.label = "RMCC";
+    nc.cfg.rmcc = true;
+    return nc;
+}
+
+void
+applyFastEnv(std::vector<NamedConfig> &configs)
+{
+    const char *fast = std::getenv("RMCC_FAST");
+    if (!fast || fast[0] == '\0' || fast[0] == '0')
+        return;
+    for (NamedConfig &nc : configs) {
+        nc.cfg.trace_records /= 8;
+        nc.cfg.warmup_records /= 8;
+    }
+}
+
+} // namespace rmcc::sim

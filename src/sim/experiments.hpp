@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries: build named
+ * configurations, run them over the workload suite (reusing one trace per
+ * workload across configurations), and collect SimResults.
+ */
+#ifndef RMCC_SIM_EXPERIMENTS_HPP
+#define RMCC_SIM_EXPERIMENTS_HPP
+
+#include <vector>
+
+#include "sim/functional_sim.hpp"
+#include "sim/timing_sim.hpp"
+#include "workloads/registry.hpp"
+
+namespace rmcc::sim
+{
+
+/** A labeled configuration for comparative experiments. */
+struct NamedConfig
+{
+    std::string label;
+    SystemConfig cfg;
+};
+
+/** Results for one workload under each configuration (config order). */
+struct SuiteRow
+{
+    std::string workload;
+    std::vector<SimResult> results;
+};
+
+/**
+ * Run each configuration over each workload of the paper suite.  The
+ * workload's trace is generated once (with the first configuration's
+ * record count and seed) and shared across configurations, so normalized
+ * comparisons see identical instruction streams.
+ */
+std::vector<SuiteRow> runSuite(const std::vector<NamedConfig> &configs);
+
+/** Run a single workload under each configuration. */
+SuiteRow runWorkload(const wl::Workload &w,
+                     const std::vector<NamedConfig> &configs);
+
+/** Dispatch one run by the configuration's mode. */
+SimResult runOne(const std::string &workload_name,
+                 const trace::TraceBuffer &trace, const NamedConfig &nc);
+
+// --- standard configurations used across benches ------------------------
+
+/** Non-secure memory system (Fig 13 normalization baseline). */
+NamedConfig nonSecureConfig(SimMode mode);
+
+/** Secure system with a given counter scheme, no RMCC. */
+NamedConfig baselineConfig(SimMode mode, ctr::SchemeKind scheme);
+
+/** Secure Morphable + RMCC (the paper's main configuration). */
+NamedConfig rmccConfig(SimMode mode);
+
+/**
+ * Reduce simulated work for quick runs: scales trace/warmup lengths of a
+ * config set by the RMCC_FAST environment variable if present (used by
+ * CI/tests, not by the reported benches).
+ */
+void applyFastEnv(std::vector<NamedConfig> &configs);
+
+} // namespace rmcc::sim
+
+#endif // RMCC_SIM_EXPERIMENTS_HPP

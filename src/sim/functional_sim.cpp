@@ -1,0 +1,75 @@
+#include "sim/functional_sim.hpp"
+
+#include "sim/rig.hpp"
+
+namespace rmcc::sim
+{
+
+SimResult
+runFunctional(const std::string &workload_name,
+              const trace::TraceBuffer &trace, const SystemConfig &cfg)
+{
+    detail::SimRig rig(cfg);
+    detail::preconditionRmcc(rig, cfg, trace);
+
+    util::StatSet side; // simulator-side counters (TLB, LLC events)
+    util::StatSet mc_at_warm, side_at_warm;
+    std::uint64_t instructions = 0, insts_at_warm = 0;
+
+    // A loosely advancing pseudo-clock keeps the DRAM and overflow-engine
+    // substrates in a sane regime; no timing conclusions are drawn from
+    // functional runs.
+    double fake_now = 0.0;
+    std::size_t i = 0;
+    for (const trace::Record &rec : trace.records()) {
+        if (i++ == cfg.warmup_records) {
+            mc_at_warm = rig.mc.stats();
+            side_at_warm = side;
+            insts_at_warm = instructions;
+        }
+        instructions += rec.inst_gap + 1;
+
+        if (!rig.tlb.access(rec.vaddr))
+            side.inc("tlb.misses");
+        const addr::Addr paddr = rig.mapper.translate(rec.vaddr);
+        const cache::HierarchyResult h =
+            rig.hier.access(paddr, rec.is_write);
+        if (h.llc_miss) {
+            side.inc("sim.llc_misses");
+            rig.mc.read(paddr, fake_now);
+            fake_now += 20.0;
+        }
+        if (h.memory_writeback) {
+            side.inc("sim.llc_writebacks");
+            rig.mc.write(*h.memory_writeback, fake_now);
+            fake_now += 20.0;
+        }
+    }
+
+    SimResult res;
+    res.workload = workload_name;
+    res.stats = rig.mc.stats().diff(mc_at_warm);
+    res.stats.merge(side.diff(side_at_warm));
+    res.instructions = instructions - insts_at_warm;
+
+    // Lifetime/global state snapshots (not windowed).
+    if (cfg.rmcc && cfg.secure) {
+        res.stats.set("rmcc.avg_coverage_l0",
+                      rig.engine.averageCoverage(0));
+        res.stats.set("rmcc.group_insertions_l0",
+                      static_cast<double>(rig.engine.groupInsertions(0)));
+        res.stats.set("rmcc.budget_spent_l0",
+                      static_cast<double>(
+                          rig.engine.budget(0).totalSpent()));
+    }
+    if (cfg.secure) {
+        res.stats.set("ctr.observed_max",
+                      static_cast<double>(rig.tree.observedMax()));
+        res.stats.set("ctr.init_max", static_cast<double>(rig.init_max));
+        res.stats.set("ctr.overflows_total",
+                      static_cast<double>(rig.tree.totalOverflows()));
+    }
+    return res;
+}
+
+} // namespace rmcc::sim

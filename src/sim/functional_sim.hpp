@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Functional (Pintool-like) simulator: drives the cache hierarchy, TLB,
+ * counter tree, and RMCC engine over a trace without CPU/DRAM timing, to
+ * measure hit rates, coverage, and traffic across workload lifetimes
+ * (paper Sec III and the "Lifetime Characterization" methodology).
+ */
+#ifndef RMCC_SIM_FUNCTIONAL_SIM_HPP
+#define RMCC_SIM_FUNCTIONAL_SIM_HPP
+
+#include "sim/report.hpp"
+#include "sim/system_config.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace rmcc::sim
+{
+
+/**
+ * Run the functional simulation of one trace under one configuration.
+ *
+ * Statistics are windowed: the first cfg.warmup_records operations warm
+ * caches, counters, and the memoization tables; the returned stats cover
+ * only the remainder.
+ */
+SimResult runFunctional(const std::string &workload_name,
+                        const trace::TraceBuffer &trace,
+                        const SystemConfig &cfg);
+
+} // namespace rmcc::sim
+
+#endif // RMCC_SIM_FUNCTIONAL_SIM_HPP

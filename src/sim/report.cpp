@@ -1,0 +1,21 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+
+namespace rmcc::sim
+{
+
+void
+printResult(const SimResult &r)
+{
+    std::printf("== %s [%s] ==\n", r.workload.c_str(),
+                r.config_label.c_str());
+    std::printf("  instructions: %llu  elapsed: %.1f ns  perf: %.4f "
+                "inst/ns\n",
+                static_cast<unsigned long long>(r.instructions),
+                r.elapsed_ns, r.perf());
+    for (const auto &[name, value] : r.stats.all())
+        std::printf("  %-32s %.3f\n", name.c_str(), value);
+}
+
+} // namespace rmcc::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment results: the windowed statistics one simulation run yields
+ * and the derived metrics the paper's figures report.
+ */
+#ifndef RMCC_SIM_REPORT_HPP
+#define RMCC_SIM_REPORT_HPP
+
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace rmcc::sim
+{
+
+/**
+ * Measured outcome of one (workload, configuration) run, restricted to
+ * the observation window (after warm-up).
+ */
+struct SimResult
+{
+    std::string workload;
+    std::string config_label;
+    util::StatSet stats;   //!< MC + sim counters, observation window.
+
+    // Timing-mode only:
+    std::uint64_t instructions = 0; //!< Instructions in the window.
+    double elapsed_ns = 0.0;        //!< Window wall time.
+
+    /** Instructions per nanosecond (timing mode). */
+    double perf() const
+    {
+        return elapsed_ns > 0.0
+                   ? static_cast<double>(instructions) / elapsed_ns
+                   : 0.0;
+    }
+
+    /** Fraction of LLC misses that suffered an L0 counter miss (Fig 3). */
+    double counterMissRate() const
+    {
+        return stats.ratio("ctr.l0_miss", "mc.reads");
+    }
+
+    /** Average LLC-miss read latency in ns (Fig 14). */
+    double avgReadLatencyNs() const
+    {
+        return stats.ratio("lat.read_sum_ns", "mc.reads");
+    }
+
+    /** Memoization hit rate among counter-missing reads (Fig 10). */
+    double memoHitRateOnMiss() const
+    {
+        return stats.ratio("memo.l0_hit_on_miss",
+                           "memo.l0_lookups_on_miss");
+    }
+
+    /** Memoization hit rate over all counter uses (Fig 19/21). */
+    double memoHitRateAll() const
+    {
+        return stats.ratio("memo.l0_hit_all", "memo.l0_lookups_all");
+    }
+
+    /** Fraction of counter misses fully accelerated (Sec VI headline). */
+    double acceleratedMissRate() const
+    {
+        return stats.ratio("memo.accelerated_misses", "ctr.l0_miss");
+    }
+
+    /** Total 64 B DRAM transfers in the window. */
+    double dramAccesses() const { return stats.get("dram.total"); }
+
+    /** TLB misses per LLC miss (Fig 4). */
+    double tlbMissPerLlcMiss() const
+    {
+        return stats.ratio("tlb.misses", "mc.reads");
+    }
+};
+
+/** Print every counter of a result (debugging aid). */
+void printResult(const SimResult &r);
+
+} // namespace rmcc::sim
+
+#endif // RMCC_SIM_REPORT_HPP

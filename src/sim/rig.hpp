@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Internal: the assembled component stack ("rig") both simulators drive.
+ */
+#ifndef RMCC_SIM_RIG_HPP
+#define RMCC_SIM_RIG_HPP
+
+#include <algorithm>
+
+#include "address/page_mapper.hpp"
+#include "cache/hierarchy.hpp"
+#include "cache/tlb.hpp"
+#include "core/rmcc_engine.hpp"
+#include "counters/tree.hpp"
+#include "dram/ddr4.hpp"
+#include "mc/secure_mc.hpp"
+#include "sim/system_config.hpp"
+#include "util/rng.hpp"
+
+namespace rmcc::sim::detail
+{
+
+/** Derive the effective RMCC configuration for a run. */
+inline core::RmccConfig
+effectiveRmccConfig(const SystemConfig &cfg)
+{
+    core::RmccConfig rc = cfg.rmcc_cfg;
+    rc.enabled = cfg.rmcc && cfg.secure;
+    // Epochs scale with the simulated window (the paper's 1 M-access
+    // epochs assume multi-billion-access lifetimes; see DESIGN.md).
+    rc.budget.epoch_accesses = std::max<std::uint64_t>(
+        50000, std::min<std::uint64_t>(rc.budget.epoch_accesses,
+                                       cfg.trace_records / 8));
+    return rc;
+}
+
+/** All components of one simulated system. */
+struct SimRig
+{
+    addr::PageMapper mapper;
+    cache::Tlb tlb;
+    cache::Hierarchy hier;
+    ctr::IntegrityTree tree;
+    core::RmccEngine engine;
+    dram::Ddr4 dram;
+    mc::SecureMc mc;
+    addr::CounterValue init_max; //!< Observed max right after init.
+
+    explicit SimRig(const SystemConfig &cfg)
+        : mapper(cfg.page_mode, cfg.phys_bytes, cfg.seed ^ 0x9a9a),
+          tlb(cfg.tlb_entries, cfg.tlb_assoc, mapper.pageSize()),
+          hier(cfg.l1, cfg.l2, cfg.llc),
+          tree(cfg.scheme, cfg.phys_bytes / addr::kBlockSize),
+          engine(effectiveRmccConfig(cfg), tree),
+          dram(cfg.dram),
+          mc(mc::McConfig{cfg.secure, cfg.counter_cache_bytes,
+                          cfg.counter_cache_assoc, cfg.lat},
+             tree, engine, dram),
+          init_max(0)
+    {
+        util::Rng rng(cfg.seed ^ 0xc0c0);
+        if (cfg.secure)
+            tree.randomInit(rng, cfg.counter_init_mean);
+        init_max = tree.observedMax();
+    }
+};
+
+/**
+ * Lifetime warm-up: replay the trace once through the counter tree and
+ * RMCC engine alone (no caches/DRAM), with an unconstrained budget, so
+ * the self-reinforcing update converges counter state the way the
+ * unsimulated prior lifetime would have (the paper warms its integrity
+ * tree for 25 B instructions in atomic mode before measuring).  Budgets
+ * drain to zero afterwards: the measured window runs at steady accrual.
+ */
+inline void
+preconditionRmcc(SimRig &rig, const SystemConfig &cfg,
+                 const trace::TraceBuffer &trace)
+{
+    if (!(cfg.secure && cfg.rmcc && cfg.precondition))
+        return;
+    rig.engine.setBudgetPools(cfg.precondition_budget_fraction *
+                              static_cast<double>(cfg.trace_records));
+    const unsigned cov0 = rig.tree.level(0).coverage();
+    std::uint64_t ops = 0;
+    // Drive a throwaway copy of the cache hierarchy so counter reads
+    // happen at LLC-miss granularity and counter writes at true
+    // writeback addresses — the same streams the measured run will
+    // produce — without pre-warming the measured caches.
+    cache::Hierarchy scratch(cfg.l1, cfg.l2, cfg.llc);
+    for (const trace::Record &rec : trace.records()) {
+        const addr::Addr paddr = rig.mapper.translate(rec.vaddr);
+        const cache::HierarchyResult h =
+            scratch.access(paddr, rec.is_write);
+        if (h.llc_miss) {
+            const addr::BlockId blk = addr::blockOf(paddr);
+            rig.engine.onReadCounterUse(0, blk);
+            if (ops % 8 == 0)
+                rig.engine.onReadCounterUse(1, blk / cov0);
+            ++ops;
+            rig.engine.onDramAccess();
+        }
+        if (h.memory_writeback) {
+            const addr::BlockId blk =
+                addr::blockOf(*h.memory_writeback);
+            rig.engine.onWriteCounter(0, blk);
+            // L0 counter blocks reach memory roughly once per several
+            // data writebacks; exercise the L1 table at that rate.
+            if (ops % 8 == 0)
+                rig.engine.onWriteCounter(1, blk / cov0);
+            ++ops;
+            rig.engine.onDramAccess();
+        }
+    }
+    rig.engine.setBudgetPools(0.0);
+}
+
+} // namespace rmcc::sim::detail
+
+#endif // RMCC_SIM_RIG_HPP

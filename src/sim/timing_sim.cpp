@@ -1,0 +1,88 @@
+#include "sim/timing_sim.hpp"
+
+#include "sim/cpu_model.hpp"
+#include "sim/rig.hpp"
+
+namespace rmcc::sim
+{
+
+SimResult
+runTiming(const std::string &workload_name,
+          const trace::TraceBuffer &trace, const SystemConfig &cfg)
+{
+    detail::SimRig rig(cfg);
+    detail::preconditionRmcc(rig, cfg, trace);
+    CpuModel cpu(cfg.cpu);
+
+    util::StatSet side;
+    util::StatSet mc_at_warm, side_at_warm;
+    std::uint64_t insts_at_warm = 0;
+    double time_at_warm = 0.0;
+
+    const double llc_lookup_ns =
+        cfg.l1.latency_ns + cfg.l2.latency_ns + cfg.llc.latency_ns;
+
+    std::size_t i = 0;
+    for (const trace::Record &rec : trace.records()) {
+        if (i++ == cfg.warmup_records) {
+            mc_at_warm = rig.mc.stats();
+            side_at_warm = side;
+            insts_at_warm = cpu.instructions();
+            time_at_warm = cpu.now();
+        }
+
+        const double issue = cpu.advance(rec.inst_gap);
+        if (!rig.tlb.access(rec.vaddr))
+            side.inc("tlb.misses");
+        const addr::Addr paddr = rig.mapper.translate(rec.vaddr);
+        const cache::HierarchyResult h =
+            rig.hier.access(paddr, rec.is_write);
+
+        if (h.llc_miss) {
+            side.inc("sim.llc_misses");
+            const mc::McReadResult r =
+                rig.mc.read(paddr, issue + llc_lookup_ns);
+            cpu.recordLongLatency(r.done_ns);
+        } else if (h.hit_level == 3) {
+            // LLC hits are long enough to occupy the window.
+            cpu.recordLongLatency(issue + h.hit_latency_ns);
+        }
+        if (h.memory_writeback) {
+            side.inc("sim.llc_writebacks");
+            const double stall =
+                rig.mc.write(*h.memory_writeback, cpu.now());
+            cpu.stallUntil(stall);
+        }
+    }
+    const double end = cpu.finish();
+
+    SimResult res;
+    res.workload = workload_name;
+    res.stats = rig.mc.stats().diff(mc_at_warm);
+    res.stats.merge(side.diff(side_at_warm));
+    res.instructions = cpu.instructions() - insts_at_warm;
+    res.elapsed_ns = end - time_at_warm;
+    res.stats.set("time.elapsed_ns", res.elapsed_ns);
+
+    const dram::ChannelStats ds = rig.dram.aggregateStats();
+    res.stats.set("dram.row_hits", static_cast<double>(ds.row_hits));
+    res.stats.set("dram.row_conflicts",
+                  static_cast<double>(ds.row_conflicts));
+
+    if (cfg.rmcc && cfg.secure) {
+        res.stats.set("rmcc.avg_coverage_l0",
+                      rig.engine.averageCoverage(0));
+    }
+    if (cfg.secure) {
+        res.stats.set("ctr.observed_max",
+                      static_cast<double>(rig.tree.observedMax()));
+        res.stats.set("ctr.init_max", static_cast<double>(rig.init_max));
+        res.stats.set("ctr.overflows_total",
+                      static_cast<double>(rig.tree.totalOverflows()));
+        res.stats.set("ovf.stall_ns",
+                      rig.mc.overflowEngine().totalStallNs());
+    }
+    return res;
+}
+
+} // namespace rmcc::sim

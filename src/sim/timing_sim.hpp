@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Timing (gem5-like) simulator: the OoO CPU proxy drives the cache
+ * hierarchy; LLC misses go through the secure MC and DDR4 timing models.
+ * Produces the performance and latency numbers of paper Figs 12-14,
+ * 17-18.
+ */
+#ifndef RMCC_SIM_TIMING_SIM_HPP
+#define RMCC_SIM_TIMING_SIM_HPP
+
+#include "sim/report.hpp"
+#include "sim/system_config.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace rmcc::sim
+{
+
+/**
+ * Run the timing simulation of one trace under one configuration.
+ * Statistics, instructions, and elapsed time are windowed past warm-up.
+ */
+SimResult runTiming(const std::string &workload_name,
+                    const trace::TraceBuffer &trace,
+                    const SystemConfig &cfg);
+
+} // namespace rmcc::sim
+
+#endif // RMCC_SIM_TIMING_SIM_HPP

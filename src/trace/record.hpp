@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Memory-trace record: the interchange format between workload models and
+ * the simulators (the role Pin traces / gem5 probes play in the paper).
+ */
+#ifndef RMCC_TRACE_RECORD_HPP
+#define RMCC_TRACE_RECORD_HPP
+
+#include <cstdint>
+
+#include "address/types.hpp"
+
+namespace rmcc::trace
+{
+
+/** One memory operation observed at the core. */
+struct Record
+{
+    addr::Addr vaddr;        //!< Virtual byte address.
+    std::uint32_t inst_gap;  //!< Non-memory instructions since previous op.
+    bool is_write;           //!< Store (true) or load (false).
+};
+
+static_assert(sizeof(Record) <= 16, "keep traces compact");
+
+} // namespace rmcc::trace
+
+#endif // RMCC_TRACE_RECORD_HPP

@@ -1,0 +1,35 @@
+#include "trace/trace_buffer.hpp"
+
+#include <algorithm>
+
+namespace rmcc::trace
+{
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity)
+{
+    records_.reserve(std::min<std::size_t>(capacity, 1 << 22));
+}
+
+void
+TraceBuffer::append(addr::Addr vaddr, bool is_write, std::uint32_t inst_gap)
+{
+    if (full())
+        return;
+    records_.push_back({vaddr, inst_gap, is_write});
+    total_insts_ += 1 + inst_gap;
+    writes_ += is_write ? 1 : 0;
+}
+
+std::uint64_t
+TraceBuffer::distinctBlocks() const
+{
+    std::vector<addr::BlockId> blocks;
+    blocks.reserve(records_.size());
+    for (const auto &r : records_)
+        blocks.push_back(addr::blockOf(r.vaddr));
+    std::sort(blocks.begin(), blocks.end());
+    blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+    return blocks.size();
+}
+
+} // namespace rmcc::trace

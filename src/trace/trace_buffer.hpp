@@ -1,0 +1,58 @@
+/**
+ * @file
+ * In-memory trace container with summary statistics.
+ */
+#ifndef RMCC_TRACE_TRACE_BUFFER_HPP
+#define RMCC_TRACE_TRACE_BUFFER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace rmcc::trace
+{
+
+/**
+ * A bounded trace of memory operations.
+ *
+ * Workload models append to the buffer; generation stops automatically once
+ * the configured capacity is reached (checked by the workload's isDone()
+ * via full()).
+ */
+class TraceBuffer
+{
+  public:
+    /** Create a buffer that accepts up to capacity records. */
+    explicit TraceBuffer(std::size_t capacity);
+
+    /** Append a load/store; silently dropped once full. */
+    void append(addr::Addr vaddr, bool is_write, std::uint32_t inst_gap);
+
+    /** True once capacity records have been recorded. */
+    bool full() const { return records_.size() >= capacity_; }
+
+    /** Recorded operations. */
+    const std::vector<Record> &records() const { return records_; }
+
+    std::size_t size() const { return records_.size(); }
+
+    /** Total instructions represented (memory ops + gaps). */
+    std::uint64_t totalInstructions() const { return total_insts_; }
+
+    /** Number of writes recorded. */
+    std::uint64_t writes() const { return writes_; }
+
+    /** Distinct 64 B blocks touched (exact, via sorted scan). */
+    std::uint64_t distinctBlocks() const;
+
+  private:
+    std::size_t capacity_;
+    std::vector<Record> records_;
+    std::uint64_t total_insts_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace rmcc::trace
+
+#endif // RMCC_TRACE_TRACE_BUFFER_HPP

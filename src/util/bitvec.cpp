@@ -1,0 +1,60 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace rmcc::util
+{
+
+std::uint64_t
+BitVec512::get(std::size_t offset, std::size_t width) const
+{
+    assert(width <= 64 && offset + width <= kBits);
+    if (width == 0)
+        return 0;
+    const std::size_t word = offset / 64;
+    const std::size_t shift = offset % 64;
+    std::uint64_t value = words_[word] >> shift;
+    if (shift + width > 64)
+        value |= words_[word + 1] << (64 - shift);
+    if (width < 64)
+        value &= (1ULL << width) - 1;
+    return value;
+}
+
+void
+BitVec512::set(std::size_t offset, std::size_t width, std::uint64_t value)
+{
+    assert(width <= 64 && offset + width <= kBits);
+    if (width == 0)
+        return;
+    const std::uint64_t mask =
+        width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    value &= mask;
+    const std::size_t word = offset / 64;
+    const std::size_t shift = offset % 64;
+    words_[word] = (words_[word] & ~(mask << shift)) | (value << shift);
+    if (shift + width > 64) {
+        const std::size_t spill = shift + width - 64;
+        const std::uint64_t hi_mask = (1ULL << spill) - 1;
+        words_[word + 1] = (words_[word + 1] & ~hi_mask) |
+                           (value >> (64 - shift));
+    }
+}
+
+std::size_t
+BitVec512::popcount() const
+{
+    std::size_t n = 0;
+    for (auto w : words_)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+std::size_t
+bitWidth(std::uint64_t value)
+{
+    return static_cast<std::size_t>(std::bit_width(value));
+}
+
+} // namespace rmcc::util

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fixed-width bit packing over a 64-byte container, used to model the exact
+ * bit layout of counter blocks (majors, format tags, bitmaps, minor arrays).
+ */
+#ifndef RMCC_UTIL_BITVEC_HPP
+#define RMCC_UTIL_BITVEC_HPP
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace rmcc::util
+{
+
+/**
+ * A 512-bit little-endian bit container with arbitrary-width field access.
+ *
+ * Fields are addressed by (bit offset, width <= 64).  This mirrors how a
+ * hardware counter block is laid out and lets the counter-scheme models
+ * prove that their encodings actually fit in 64 bytes.
+ */
+class BitVec512
+{
+  public:
+    /** Number of bits in the container. */
+    static constexpr std::size_t kBits = 512;
+
+    /** All-zero container. */
+    BitVec512() { words_.fill(0); }
+
+    /** Read `width` bits starting at bit `offset`; width in [0, 64]. */
+    std::uint64_t get(std::size_t offset, std::size_t width) const;
+
+    /** Write the low `width` bits of value at bit `offset`. */
+    void set(std::size_t offset, std::size_t width, std::uint64_t value);
+
+    /** Zero the whole container. */
+    void clear() { words_.fill(0); }
+
+    /** Total number of set bits. */
+    std::size_t popcount() const;
+
+    /** Raw word access for hashing/serialization. */
+    const std::array<std::uint64_t, 8> &words() const { return words_; }
+
+    bool operator==(const BitVec512 &other) const = default;
+
+  private:
+    std::array<std::uint64_t, 8> words_;
+};
+
+/** Smallest width (bits) that can represent value; bitWidth(0) == 0. */
+std::size_t bitWidth(std::uint64_t value);
+
+} // namespace rmcc::util
+
+#endif // RMCC_UTIL_BITVEC_HPP

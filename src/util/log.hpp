@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal fatal/panic/warn helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal(): user-correctable problem (bad configuration) -> exit(1).
+ * panic(): internal invariant violation (a bug in this library) -> abort().
+ * warn():  something works but not as well as it should.
+ */
+#ifndef RMCC_UTIL_LOG_HPP
+#define RMCC_UTIL_LOG_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace rmcc::util
+{
+
+/** Terminate with exit(1) after printing a user-error message. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    std::fprintf(stderr, "fatal: ");
+    if constexpr (sizeof...(Args) == 0)
+        std::fprintf(stderr, "%s", fmt);
+    else
+        std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+/** Abort after printing an internal-bug message. */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    std::fprintf(stderr, "panic: ");
+    if constexpr (sizeof...(Args) == 0)
+        std::fprintf(stderr, "%s", fmt);
+    else
+        std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+/** Non-fatal warning. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    std::fprintf(stderr, "warn: ");
+    if constexpr (sizeof...(Args) == 0)
+        std::fprintf(stderr, "%s", fmt);
+    else
+        std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace rmcc::util
+
+#endif // RMCC_UTIL_LOG_HPP

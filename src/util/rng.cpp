@@ -1,0 +1,133 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmcc::util
+{
+
+namespace
+{
+
+/** SplitMix64 step used to expand the seed into xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+    // Guard against the all-zero state, which is a fixed point.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    // Lemire's multiply-shift with rejection for exact uniformity.
+    if (bound == 0)
+        return 0;
+    while (true) {
+        const std::uint64_t x = next();
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(x) * bound;
+        const std::uint64_t lo = static_cast<std::uint64_t>(m);
+        if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound)
+            return static_cast<std::uint64_t>(m >> 64);
+    }
+}
+
+std::uint64_t
+Rng::nextInRange(std::uint64_t lo, std::uint64_t hi)
+{
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    p = std::clamp(p, 0.0, 1.0);
+    return nextDouble() < p;
+}
+
+std::uint32_t
+Rng::nextGeometric(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    const double u = 1.0 - nextDouble(); // in (0, 1]
+    const double v = -mean * std::log(u);
+    return static_cast<std::uint32_t>(std::min(v, 1.0e9));
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double s)
+{
+    ZipfSampler sampler(n, s);
+    return sampler(*this);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s)
+{
+    cdf_.resize(n ? n : 1);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < cdf_.size(); ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = acc;
+    }
+    for (auto &c : cdf_)
+        c /= acc;
+}
+
+std::uint64_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+} // namespace rmcc::util

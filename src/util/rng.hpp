@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulation.
+ *
+ * All stochastic behaviour in the repository (workload generation, counter
+ * initialization, replacement tie-breaking) flows through Rng so that every
+ * experiment is reproducible from a single 64-bit seed.  The generator is
+ * xoshiro256** (Blackman & Vigna), which is fast, has a 2^256-1 period, and
+ * passes BigCrush; it is *not* used for any cryptographic purpose (the
+ * crypto module has real AES for that).
+ */
+#ifndef RMCC_UTIL_RNG_HPP
+#define RMCC_UTIL_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace rmcc::util
+{
+
+/**
+ * xoshiro256** PRNG with SplitMix64 seeding.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire rejection; bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p (clamped to [0,1]). */
+    bool nextBool(double p = 0.5);
+
+    /**
+     * Geometric-ish integer with the given mean (>= 0); used for
+     * inter-memory-op instruction gaps in workload models.
+     */
+    std::uint32_t nextGeometric(double mean);
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent s; used to give graph
+     * workloads their power-law vertex popularity.  Uses precomputed CDF,
+     * so construct a ZipfSampler for hot loops instead.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+    /** Fork a statistically independent child generator. */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Precomputed-CDF Zipf sampler; O(log n) per draw.
+ */
+class ZipfSampler
+{
+  public:
+    /** Build the CDF for ranks [0, n) with exponent s (> 0). */
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draw one Zipf-distributed rank using the supplied generator. */
+    std::uint64_t operator()(Rng &rng) const;
+
+    /** Number of ranks. */
+    std::uint64_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace rmcc::util
+
+#endif // RMCC_UTIL_RNG_HPP

@@ -1,0 +1,138 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmcc::util
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::mean() const
+{
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t nbuckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(nbuckets ? nbuckets : 1)),
+      counts_(nbuckets ? nbuckets : 1, 0)
+{
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto i = static_cast<std::size_t>((x - lo_) / width_);
+        i = std::min(i, counts_.size() - 1);
+        ++counts_[i];
+    }
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (total_ == 0)
+        return lo_;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(total_));
+    std::uint64_t acc = underflow_;
+    if (acc >= target && underflow_ > 0)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        acc += counts_[i];
+        if (acc >= target)
+            return lo_ + (static_cast<double>(i) + 0.5) * width_;
+    }
+    return hi_;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (double x : xs) {
+        if (x > 0.0) {
+            acc += std::log(x);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / static_cast<double>(n)) : 0.0;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+void
+StatSet::inc(const std::string &name, double delta)
+{
+    values_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    values_[name] = value;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+double
+StatSet::ratio(const std::string &a, const std::string &b) const
+{
+    const double denom = get(b);
+    return denom == 0.0 ? 0.0 : get(a) / denom;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.values_)
+        values_[name] += value;
+}
+
+StatSet
+StatSet::diff(const StatSet &earlier) const
+{
+    StatSet out;
+    for (const auto &[name, value] : values_)
+        out.set(name, value - earlier.get(name));
+    return out;
+}
+
+} // namespace rmcc::util

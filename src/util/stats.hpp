@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Statistics primitives used by the simulators and benches: scalar counters
+ * with ratio helpers, running means, histograms, and geometric means, in the
+ * spirit of gem5's stats package but sized for this project.
+ */
+#ifndef RMCC_UTIL_STATS_HPP
+#define RMCC_UTIL_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rmcc::util
+{
+
+/** Running mean/min/max/sum accumulator over double samples. */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sum of all samples (0 when empty). */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Smallest sample (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 1.0e300;
+    double max_ = -1.0e300;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets. */
+class Histogram
+{
+  public:
+    /** Create nbuckets equal-width buckets spanning [lo, hi). */
+    Histogram(double lo, double hi, std::size_t nbuckets);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Total samples including out-of-range ones. */
+    std::uint64_t count() const { return total_; }
+
+    /** Count in bucket i (0 <= i < buckets()). */
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+
+    /** Number of in-range buckets. */
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Samples below lo / at-or-above hi. */
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Approximate p-quantile (0 <= p <= 1) from bucket midpoints. */
+    double quantile(double p) const;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/** Geometric mean of strictly positive values; zeros are skipped. */
+double geomean(const std::vector<double> &xs);
+
+/** Arithmetic mean; 0 when empty. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Named scalar statistics bag, used by the simulators to report counters
+ * (accesses, hits, misses, traffic) without a rigid struct per experiment.
+ */
+class StatSet
+{
+  public:
+    /** Add delta (default 1) to the named counter, creating it at 0. */
+    void inc(const std::string &name, double delta = 1.0);
+
+    /** Overwrite the named counter. */
+    void set(const std::string &name, double value);
+
+    /** Read a counter; returns 0 for names never written. */
+    double get(const std::string &name) const;
+
+    /** a / b with 0 fallback when b == 0. */
+    double ratio(const std::string &a, const std::string &b) const;
+
+    /** All counters in name order. */
+    const std::map<std::string, double> &all() const { return values_; }
+
+    /** Merge: add every counter of other into this. */
+    void merge(const StatSet &other);
+
+    /** Per-counter difference this - earlier (for windowed measurement). */
+    StatSet diff(const StatSet &earlier) const;
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace rmcc::util
+
+#endif // RMCC_UTIL_STATS_HPP

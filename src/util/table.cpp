@@ -1,0 +1,110 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace rmcc::util
+{
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &values,
+              int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(fmtDouble(v, precision));
+    addRow(std::move(cells));
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << "== " << title_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << (c ? "  " : "");
+            out << cells[c];
+            out << std::string(widths[c] - cells[c].size(), ' ');
+        }
+        out << '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = headers_.size() ? (headers_.size() - 1) * 2 : 0;
+    for (auto w : widths)
+        total += w;
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            out << (c ? "," : "") << cells[c];
+        out << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+void
+Table::emit(const std::string &csv_path) const
+{
+    std::cout << toText() << std::endl;
+    if (!csv_path.empty()) {
+        std::ofstream f(csv_path);
+        if (f)
+            f << toCsv();
+        else
+            std::cerr << "warning: cannot write " << csv_path << '\n';
+    }
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace rmcc::util

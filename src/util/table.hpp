@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Text/CSV table rendering for the bench harnesses.  Every bench binary
+ * prints the same rows/series the paper's figure reports; this keeps the
+ * formatting consistent and writes a machine-readable CSV alongside.
+ */
+#ifndef RMCC_UTIL_TABLE_HPP
+#define RMCC_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace rmcc::util
+{
+
+/**
+ * A column-aligned results table with an optional title.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given title and column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: first cell is a label, the rest are numbers. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 3);
+
+    /** Render as an aligned text table. */
+    std::string toText() const;
+
+    /** Render as CSV (headers + rows). */
+    std::string toCsv() const;
+
+    /** Print toText() to stdout and write toCsv() to path (if non-empty). */
+    void emit(const std::string &csv_path = "") const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmtDouble(double v, int precision = 3);
+
+/** Format a fraction as a percentage string, e.g. 0.923 -> "92.3%". */
+std::string fmtPercent(double fraction, int precision = 1);
+
+} // namespace rmcc::util
+
+#endif // RMCC_UTIL_TABLE_HPP

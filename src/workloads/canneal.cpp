@@ -1,0 +1,60 @@
+#include "workloads/canneal.hpp"
+
+#include "util/rng.hpp"
+
+namespace rmcc::wl
+{
+
+namespace
+{
+
+/** One netlist element: location plus connectivity (32 B). */
+struct Element
+{
+    std::uint32_t x = 0, y = 0;
+    std::uint32_t nets[6] = {0, 0, 0, 0, 0, 0};
+};
+
+} // namespace
+
+void
+runCanneal(const CannealConfig &cfg, trace::TracedHeap &heap,
+           std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    trace::TracedArray<Element> elems(heap, cfg.elements, "cn-elements");
+    for (std::uint64_t i = 0; i < cfg.elements; ++i) {
+        Element &e = elems.raw(i);
+        e.x = static_cast<std::uint32_t>(rng.nextBelow(4096));
+        e.y = static_cast<std::uint32_t>(rng.nextBelow(4096));
+        for (auto &n : e.nets)
+            n = static_cast<std::uint32_t>(rng.nextBelow(cfg.elements));
+    }
+
+    while (!heap.done()) {
+        // Pick two random elements, read them (and the elements on their
+        // nets, to evaluate the wirelength delta), then swap locations
+        // with annealing probability.  Every touch is a random 64 B
+        // block: canneal's page- and counter-locality are terrible by
+        // construction.
+        const std::uint64_t a = rng.nextBelow(cfg.elements);
+        const std::uint64_t b = rng.nextBelow(cfg.elements);
+        Element ea = elems.get(a);
+        Element eb = elems.get(b);
+        long delta = 0;
+        for (unsigned k = 0; k < cfg.fanin && !heap.done(); ++k) {
+            const Element na = elems.get(ea.nets[k % 6]);
+            const Element nb = elems.get(eb.nets[k % 6]);
+            delta += static_cast<long>(na.x) - static_cast<long>(nb.x);
+        }
+        const bool accept = delta < 0 || rng.nextBool(0.35);
+        if (accept && !heap.done()) {
+            std::swap(ea.x, eb.x);
+            std::swap(ea.y, eb.y);
+            elems.set(a, ea);
+            elems.set(b, eb);
+        }
+    }
+}
+
+} // namespace rmcc::wl

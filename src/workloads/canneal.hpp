@@ -1,0 +1,28 @@
+/**
+ * @file
+ * canneal (PARSEC) model: simulated-annealing placement that swaps random
+ * netlist elements — the most irregular workload in the paper's suite
+ * (highest counter-cache miss rate in Fig 3).
+ */
+#ifndef RMCC_WORKLOADS_CANNEAL_HPP
+#define RMCC_WORKLOADS_CANNEAL_HPP
+
+#include "trace/traced_memory.hpp"
+
+namespace rmcc::wl
+{
+
+/** Tuning for the canneal model. */
+struct CannealConfig
+{
+    std::uint64_t elements = 3 * 512 * 1024;  //!< Netlist elements (~48 MB).
+    unsigned fanin = 4;                       //!< Nets examined per swap.
+};
+
+/** Run the annealing loop until the trace budget is exhausted. */
+void runCanneal(const CannealConfig &cfg, trace::TracedHeap &heap,
+                std::uint64_t seed);
+
+} // namespace rmcc::wl
+
+#endif // RMCC_WORKLOADS_CANNEAL_HPP

@@ -1,0 +1,91 @@
+#include "workloads/graph.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace rmcc::wl
+{
+
+namespace
+{
+
+/** GCD for the permutation-multiplier selection. */
+std::uint64_t
+gcdU64(std::uint64_t a, std::uint64_t b)
+{
+    while (b) {
+        a %= b;
+        std::swap(a, b);
+    }
+    return a;
+}
+
+} // namespace
+
+Graph
+Graph::powerLaw(std::uint64_t vertices, std::uint64_t num_edges,
+                double zipf_exponent, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    util::ZipfSampler zipf(vertices, zipf_exponent);
+
+    // Scatter popularity ranks over the id space with an affine bijection:
+    // real graphs' hubs have arbitrary ids, not a contiguous prefix (a
+    // contiguous hot prefix would be unrealistically cache-friendly).
+    std::uint64_t mult = 2654435761ULL % vertices;
+    while (gcdU64(mult, vertices) != 1)
+        ++mult;
+    const auto perm = [mult, vertices](std::uint64_t rank) {
+        return static_cast<std::uint32_t>(
+            (rank * mult + 12345) % vertices);
+    };
+
+    // Cap per-source degree so no single hub's adjacency dominates a
+    // simulation window (LDBC-scale degree ceilings relative to |V|).
+    const std::uint64_t cap =
+        std::max<std::uint64_t>(64, 64 * num_edges / vertices);
+    std::vector<std::uint32_t> degree(vertices, 0);
+
+    // Draw (src, dst) pairs: Zipf sources give hub vertices; half the
+    // targets are Zipf (popular destinations), half uniform.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    pairs.reserve(num_edges);
+    for (std::uint64_t e = 0; e < num_edges; ++e) {
+        std::uint64_t src_rank = zipf(rng);
+        if (degree[src_rank] >= cap)
+            src_rank = rng.nextBelow(vertices);
+        ++degree[src_rank];
+        const std::uint64_t dst_rank =
+            rng.nextBool(0.5) ? zipf(rng) : rng.nextBelow(vertices);
+        pairs.emplace_back(perm(src_rank), perm(dst_rank));
+    }
+    std::sort(pairs.begin(), pairs.end());
+
+    Graph g;
+    g.num_vertices = vertices;
+    g.offsets.assign(vertices + 1, 0);
+    g.edges.reserve(pairs.size());
+    for (const auto &[src, dst] : pairs)
+        ++g.offsets[src + 1];
+    for (std::uint64_t v = 0; v < vertices; ++v)
+        g.offsets[v + 1] += g.offsets[v];
+    for (const auto &[src, dst] : pairs)
+        g.edges.push_back(dst);
+    // Per-vertex adjacency is already sorted by the pair sort; that makes
+    // triangle counting's sorted-intersection realistic.
+    return g;
+}
+
+TracedGraph::TracedGraph(const Graph &g, trace::TracedHeap &heap)
+    : g_(&g),
+      offsets_(heap, g.num_vertices + 1, "csr-offsets"),
+      edges_(heap, g.numEdges(), "csr-edges")
+{
+    for (std::uint64_t v = 0; v <= g.num_vertices; ++v)
+        offsets_.raw(v) = g.offsets[v];
+    for (std::uint64_t e = 0; e < g.numEdges(); ++e)
+        edges_.raw(e) = g.edges[e];
+}
+
+} // namespace rmcc::wl

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic power-law graph in CSR form — the substitute for the paper's
+ * 8_5-fb Facebook-like LDBC dataset (see DESIGN.md, substitutions).
+ */
+#ifndef RMCC_WORKLOADS_GRAPH_HPP
+#define RMCC_WORKLOADS_GRAPH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/traced_memory.hpp"
+
+namespace rmcc::wl
+{
+
+/**
+ * Compressed-sparse-row directed graph.
+ */
+struct Graph
+{
+    std::uint64_t num_vertices = 0;
+    std::vector<std::uint64_t> offsets; //!< size V+1.
+    std::vector<std::uint32_t> edges;   //!< size E, sorted per vertex.
+
+    std::uint64_t numEdges() const { return edges.size(); }
+
+    std::uint64_t degree(std::uint64_t v) const
+    {
+        return offsets[v + 1] - offsets[v];
+    }
+
+    /**
+     * Build a power-law (RMAT-like degree skew) graph: edge sources are
+     * Zipf-distributed so a few hub vertices have very high out-degree,
+     * targets mix Zipf (popularity) and uniform (randomness) draws.
+     */
+    static Graph powerLaw(std::uint64_t vertices, std::uint64_t edges,
+                          double zipf_exponent, std::uint64_t seed);
+};
+
+/**
+ * The graph's CSR arrays copied into a traced heap so kernel traversals
+ * are recorded, plus the untraced host copy for fast control decisions.
+ */
+class TracedGraph
+{
+  public:
+    TracedGraph(const Graph &g, trace::TracedHeap &heap);
+
+    /** Recorded load of offsets[v]. */
+    std::uint64_t offset(std::uint64_t v) { return offsets_.get(v); }
+
+    /** Recorded load of edges[e]. */
+    std::uint32_t edge(std::uint64_t e) { return edges_.get(e); }
+
+    std::uint64_t numVertices() const { return g_->num_vertices; }
+    std::uint64_t numEdges() const { return g_->numEdges(); }
+
+    /** Untraced degree (control flow, not data traffic). */
+    std::uint64_t rawDegree(std::uint64_t v) const
+    {
+        return g_->degree(v);
+    }
+
+  private:
+    const Graph *g_;
+    trace::TracedArray<std::uint64_t> offsets_;
+    trace::TracedArray<std::uint32_t> edges_;
+};
+
+} // namespace rmcc::wl
+
+#endif // RMCC_WORKLOADS_GRAPH_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Executable models of the eight IBM GraphBig kernels the paper evaluates
+ * (pageRank, graphColoring, connectedComp, degreeCentr, DFS, BFS,
+ * triangleCount, shortestPath).  Each is the real algorithm running over
+ * the shared power-law graph; every heap access is recorded into the
+ * trace, reproducing each kernel's distinctive locality.
+ */
+#ifndef RMCC_WORKLOADS_GRAPHBIG_HPP
+#define RMCC_WORKLOADS_GRAPHBIG_HPP
+
+#include "workloads/graph.hpp"
+
+namespace rmcc::wl
+{
+
+/** Push-style iterative PageRank. */
+void runPageRank(const Graph &g, trace::TracedHeap &heap,
+                 std::uint64_t seed);
+
+/** Greedy first-fit graph coloring. */
+void runGraphColoring(const Graph &g, trace::TracedHeap &heap,
+                      std::uint64_t seed);
+
+/** Label-propagation connected components. */
+void runConnectedComp(const Graph &g, trace::TracedHeap &heap,
+                      std::uint64_t seed);
+
+/** Degree centrality (edge-stream accumulation). */
+void runDegreeCentr(const Graph &g, trace::TracedHeap &heap,
+                    std::uint64_t seed);
+
+/** Depth-first traversal with an explicit stack. */
+void runDfs(const Graph &g, trace::TracedHeap &heap, std::uint64_t seed);
+
+/** Breadth-first traversal with a frontier queue. */
+void runBfs(const Graph &g, trace::TracedHeap &heap, std::uint64_t seed);
+
+/** Triangle counting via sorted-adjacency intersection. */
+void runTriangleCount(const Graph &g, trace::TracedHeap &heap,
+                      std::uint64_t seed);
+
+/** Bellman-Ford-style single-source shortest paths. */
+void runShortestPath(const Graph &g, trace::TracedHeap &heap,
+                     std::uint64_t seed);
+
+} // namespace rmcc::wl
+
+#endif // RMCC_WORKLOADS_GRAPHBIG_HPP

@@ -1,0 +1,77 @@
+#include "workloads/mcf.hpp"
+
+#include "util/rng.hpp"
+
+namespace rmcc::wl
+{
+
+namespace
+{
+
+/** One arc record (32 B). */
+struct Arc
+{
+    std::int64_t cost = 0;
+    std::uint32_t tail = 0, head = 0;
+    std::int64_t flow = 0;
+    std::uint64_t pad = 0;
+};
+
+/** One node record (32 B). */
+struct Node
+{
+    std::int64_t potential = 0;
+    std::uint32_t parent = 0;
+    std::uint32_t depth = 0;
+    std::uint64_t pad[2] = {};
+};
+
+} // namespace
+
+void
+runMcf(const McfConfig &cfg, trace::TracedHeap &heap, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    trace::TracedArray<Arc> arcs(heap, cfg.arcs, "mcf-arcs");
+    trace::TracedArray<Node> nodes(heap, cfg.nodes, "mcf-nodes");
+    for (std::uint64_t a = 0; a < cfg.arcs; ++a) {
+        Arc &arc = arcs.raw(a);
+        arc.cost = static_cast<std::int64_t>(rng.nextBelow(1000)) - 500;
+        arc.tail = static_cast<std::uint32_t>(rng.nextBelow(cfg.nodes));
+        arc.head = static_cast<std::uint32_t>(rng.nextBelow(cfg.nodes));
+    }
+    for (std::uint64_t n = 0; n < cfg.nodes; ++n)
+        nodes.raw(n).parent =
+            static_cast<std::uint32_t>(rng.nextBelow(cfg.nodes));
+
+    while (!heap.done()) {
+        // Pricing pass: stream the arc array sequentially looking for the
+        // most negative reduced cost (mcf's dominant, highly spatial
+        // phase).
+        std::int64_t best_cost = 0;
+        std::uint64_t best_arc = 0;
+        for (std::uint64_t a = 0; a < cfg.arcs && !heap.done(); ++a) {
+            const Arc arc = arcs.get(a);
+            const std::int64_t reduced = arc.cost - arc.flow;
+            if (reduced < best_cost) {
+                best_cost = reduced;
+                best_arc = a;
+            }
+        }
+        if (heap.done())
+            break;
+        // Pivot: short tree walk from the entering arc's endpoints.
+        Arc entering = arcs.get(best_arc);
+        std::uint32_t n = entering.tail;
+        for (unsigned d = 0; d < cfg.chase_depth && !heap.done(); ++d) {
+            Node node = nodes.get(n);
+            node.potential += best_cost;
+            nodes.set(n, node);
+            n = node.parent;
+        }
+        entering.flow += 1;
+        arcs.set(best_arc, entering);
+    }
+}
+
+} // namespace rmcc::wl

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * mcf (SPEC) model: network-simplex minimum-cost flow — long sequential
+ * scans over the arc array with a light pointer-chasing component, giving
+ * the low TLB/counter miss rates the paper reports for mcf.
+ */
+#ifndef RMCC_WORKLOADS_MCF_HPP
+#define RMCC_WORKLOADS_MCF_HPP
+
+#include "trace/traced_memory.hpp"
+
+namespace rmcc::wl
+{
+
+/** Tuning for the mcf model. */
+struct McfConfig
+{
+    std::uint64_t arcs = 1024 * 1024;     //!< Arc records (32 B each).
+    std::uint64_t nodes = 256 * 1024;     //!< Node records.
+    unsigned chase_depth = 4;             //!< Tree-walk length per pivot.
+};
+
+/** Run pricing/pivot iterations until the trace budget is exhausted. */
+void runMcf(const McfConfig &cfg, trace::TracedHeap &heap,
+            std::uint64_t seed);
+
+} // namespace rmcc::wl
+
+#endif // RMCC_WORKLOADS_MCF_HPP

@@ -1,0 +1,113 @@
+#include "workloads/omnetpp.hpp"
+
+#include "util/rng.hpp"
+
+namespace rmcc::wl
+{
+
+namespace
+{
+
+/** One scheduled event (16 B). */
+struct Event
+{
+    std::uint64_t time = 0;
+    std::uint32_t module = 0;
+    std::uint32_t kind = 0;
+};
+
+/** Per-module state record (64 B: one cache block each). */
+struct ModuleState
+{
+    std::uint64_t words[8] = {};
+};
+
+} // namespace
+
+void
+runOmnetpp(const OmnetppConfig &cfg, trace::TracedHeap &heap,
+           std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    trace::TracedArray<Event> events(heap, cfg.heap_events, "om-heap");
+    trace::TracedArray<ModuleState> modules(heap, cfg.modules,
+                                            "om-modules");
+    // Seed the heap half full with random timestamps.
+    std::uint64_t size = cfg.heap_events / 2;
+    for (std::uint64_t i = 0; i < size; ++i) {
+        Event &e = events.raw(i);
+        e.time = rng.next() >> 32;
+        e.module = static_cast<std::uint32_t>(rng.nextBelow(cfg.modules));
+    }
+    // Establish the heap property untraced (setup phase).
+    for (std::uint64_t i = size / 2; i-- > 0;) {
+        std::uint64_t p = i;
+        while (true) {
+            std::uint64_t c = 2 * p + 1;
+            if (c >= size)
+                break;
+            if (c + 1 < size &&
+                events.raw(c + 1).time < events.raw(c).time)
+                ++c;
+            if (events.raw(p).time <= events.raw(c).time)
+                break;
+            std::swap(events.raw(p), events.raw(c));
+            p = c;
+        }
+    }
+
+    std::uint64_t now = 0;
+    while (!heap.done() && size > 1) {
+        // Pop-min: read the root, move the tail up, percolate down.  The
+        // top of the heap stays cache-resident; deep levels scatter.
+        Event top = events.get(0);
+        now = top.time;
+        Event tail = events.get(--size);
+        std::uint64_t p = 0;
+        while (!heap.done()) {
+            std::uint64_t c = 2 * p + 1;
+            if (c >= size)
+                break;
+            Event ec = events.get(c);
+            if (c + 1 < size) {
+                const Event ec1 = events.get(c + 1);
+                if (ec1.time < ec.time) {
+                    ++c;
+                    ec = ec1;
+                }
+            }
+            if (tail.time <= ec.time)
+                break;
+            events.set(p, ec);
+            p = c;
+        }
+        events.set(p, tail);
+
+        // Process the event: touch the module's state block(s).
+        ModuleState st = modules.get(top.module);
+        st.words[0] += top.kind + 1;
+        for (unsigned k = 1; k < cfg.module_touches && !heap.done(); ++k)
+            st.words[k % 8] +=
+                modules.get(rng.nextBelow(cfg.modules)).words[0];
+        modules.set(top.module, st);
+
+        // Schedule a follow-up event: percolate up from the new tail.
+        Event next;
+        next.time = now + 1 + (rng.next() & 0xffff);
+        next.module =
+            static_cast<std::uint32_t>(rng.nextBelow(cfg.modules));
+        std::uint64_t child = size++;
+        events.set(child, next);
+        while (child > 0 && !heap.done()) {
+            const std::uint64_t parent = (child - 1) / 2;
+            const Event ep = events.get(parent);
+            if (ep.time <= next.time)
+                break;
+            events.set(child, ep);
+            events.set(parent, next);
+            child = parent;
+        }
+    }
+}
+
+} // namespace rmcc::wl

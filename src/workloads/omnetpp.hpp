@@ -1,0 +1,29 @@
+/**
+ * @file
+ * omnetpp (SPEC) model: discrete-event network simulation — a binary
+ * event heap whose percolations are semi-local plus scattered touches of
+ * per-module state.
+ */
+#ifndef RMCC_WORKLOADS_OMNETPP_HPP
+#define RMCC_WORKLOADS_OMNETPP_HPP
+
+#include "trace/traced_memory.hpp"
+
+namespace rmcc::wl
+{
+
+/** Tuning for the omnetpp model. */
+struct OmnetppConfig
+{
+    std::uint64_t heap_events = 1 << 20;  //!< Event-heap capacity.
+    std::uint64_t modules = 1 << 17;      //!< Simulated network modules.
+    unsigned module_touches = 3;          //!< State words read per event.
+};
+
+/** Run the event loop until the trace budget is exhausted. */
+void runOmnetpp(const OmnetppConfig &cfg, trace::TracedHeap &heap,
+                std::uint64_t seed);
+
+} // namespace rmcc::wl
+
+#endif // RMCC_WORKLOADS_OMNETPP_HPP

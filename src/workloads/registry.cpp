@@ -1,0 +1,98 @@
+#include "workloads/registry.hpp"
+
+#include "workloads/canneal.hpp"
+#include "workloads/graphbig.hpp"
+#include "workloads/mcf.hpp"
+#include "workloads/omnetpp.hpp"
+
+namespace rmcc::wl
+{
+
+namespace
+{
+
+/** Shared-graph scale: ~4 M vertices, ~24 M edges (~128 MB CSR). */
+constexpr std::uint64_t kGraphVertices = 4 * 1024 * 1024;
+constexpr std::uint64_t kGraphEdges = 24 * 1024 * 1024;
+constexpr double kGraphZipf = 0.75;
+constexpr std::uint64_t kGraphSeed = 0x5eed6a7;
+
+using KernelFn = void (*)(const Graph &, trace::TracedHeap &,
+                          std::uint64_t);
+
+/** Wrap a graph kernel as a Workload generator. */
+Workload
+graphWorkload(std::string name, double gap, KernelFn kernel)
+{
+    return {std::move(name), gap,
+            [kernel, gap](trace::TraceBuffer &buf, std::uint64_t seed) {
+                trace::TracedHeap heap(buf, gap, seed);
+                kernel(sharedGraph(), heap, seed);
+            }};
+}
+
+} // namespace
+
+const Graph &
+sharedGraph()
+{
+    static const Graph g =
+        Graph::powerLaw(kGraphVertices, kGraphEdges, kGraphZipf,
+                        kGraphSeed);
+    return g;
+}
+
+const std::vector<Workload> &
+workloadSuite()
+{
+    static const std::vector<Workload> suite = [] {
+        std::vector<Workload> v;
+        v.push_back(graphWorkload("pageRank", 5.0, &runPageRank));
+        v.push_back(graphWorkload("graphColoring", 4.0,
+                                  &runGraphColoring));
+        v.push_back(graphWorkload("connectedComp", 4.0,
+                                  &runConnectedComp));
+        v.push_back(graphWorkload("degreeCentr", 4.0, &runDegreeCentr));
+        v.push_back(graphWorkload("DFS", 4.0, &runDfs));
+        v.push_back(graphWorkload("BFS", 4.0, &runBfs));
+        v.push_back(graphWorkload("triangleCount", 3.0,
+                                  &runTriangleCount));
+        v.push_back(graphWorkload("shortestPath", 4.0, &runShortestPath));
+        v.push_back({"canneal", 6.0,
+                     [](trace::TraceBuffer &buf, std::uint64_t seed) {
+                         trace::TracedHeap heap(buf, 6.0, seed);
+                         runCanneal(CannealConfig(), heap, seed);
+                     }});
+        v.push_back({"omnetpp", 10.0,
+                     [](trace::TraceBuffer &buf, std::uint64_t seed) {
+                         trace::TracedHeap heap(buf, 10.0, seed);
+                         runOmnetpp(OmnetppConfig(), heap, seed);
+                     }});
+        v.push_back({"mcf", 8.0,
+                     [](trace::TraceBuffer &buf, std::uint64_t seed) {
+                         trace::TracedHeap heap(buf, 8.0, seed);
+                         runMcf(McfConfig(), heap, seed);
+                     }});
+        return v;
+    }();
+    return suite;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : workloadSuite())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+trace::TraceBuffer
+generateTrace(const Workload &w, std::size_t records, std::uint64_t seed)
+{
+    trace::TraceBuffer buf(records);
+    w.generate(buf, seed);
+    return buf;
+}
+
+} // namespace rmcc::wl

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The paper's 11-workload suite (Fig 3 order): eight GraphBig kernels,
+ * canneal, omnetpp, and mcf, each packaged as a named trace generator.
+ */
+#ifndef RMCC_WORKLOADS_REGISTRY_HPP
+#define RMCC_WORKLOADS_REGISTRY_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/trace_buffer.hpp"
+#include "workloads/graph.hpp"
+
+namespace rmcc::wl
+{
+
+/** A named, reproducible trace generator. */
+struct Workload
+{
+    std::string name;
+    //! Mean non-memory instructions between memory ops (compute density).
+    double mean_inst_gap;
+    //! Fill the buffer (until full) with the workload's access stream.
+    std::function<void(trace::TraceBuffer &, std::uint64_t seed)> generate;
+};
+
+/** The 11 workloads in the paper's figure order. */
+const std::vector<Workload> &workloadSuite();
+
+/** Look up a workload by name; nullptr when unknown. */
+const Workload *findWorkload(const std::string &name);
+
+/**
+ * The shared power-law input graph (built once per process) that all
+ * GraphBig kernels traverse — the stand-in for the 8_5-fb dataset.
+ */
+const Graph &sharedGraph();
+
+/**
+ * Generate a workload's trace with the standard budget.
+ * @param records trace length (default 2 M memory operations).
+ */
+trace::TraceBuffer generateTrace(const Workload &w, std::size_t records,
+                                 std::uint64_t seed);
+
+} // namespace rmcc::wl
+
+#endif // RMCC_WORKLOADS_REGISTRY_HPP

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Traffic-budget tests: accrual rate, carry-over, epoch boundaries, and
+ * spend semantics (Sec IV-C1/C2).
+ */
+#include <gtest/gtest.h>
+
+#include "core/budget.hpp"
+
+using namespace rmcc::core;
+
+TEST(Budget, StartsWithInitialPool)
+{
+    BudgetConfig cfg;
+    cfg.initial_pool_accesses = 500;
+    TrafficBudget b(cfg);
+    EXPECT_DOUBLE_EQ(b.available(), 500.0);
+}
+
+TEST(Budget, AccruesFractionPerAccess)
+{
+    BudgetConfig cfg;
+    cfg.fraction = 0.01;
+    TrafficBudget b(cfg);
+    for (int i = 0; i < 1000; ++i)
+        b.onAccess();
+    EXPECT_NEAR(b.available(), 10.0, 1e-9);
+}
+
+TEST(Budget, EpochBoundarySignaled)
+{
+    BudgetConfig cfg;
+    cfg.epoch_accesses = 100;
+    TrafficBudget b(cfg);
+    int epochs = 0;
+    for (int i = 0; i < 350; ++i)
+        epochs += b.onAccess();
+    EXPECT_EQ(epochs, 3);
+    EXPECT_EQ(b.epochs(), 3u);
+    EXPECT_EQ(b.totalAccesses(), 350u);
+}
+
+TEST(Budget, SpendRespectsPool)
+{
+    BudgetConfig cfg;
+    cfg.fraction = 0.01;
+    TrafficBudget b(cfg);
+    EXPECT_FALSE(b.trySpend(1));
+    for (int i = 0; i < 200; ++i)
+        b.onAccess(); // pool = 2
+    EXPECT_TRUE(b.trySpend(2));
+    EXPECT_FALSE(b.trySpend(1));
+    EXPECT_EQ(b.totalSpent(), 2u);
+}
+
+TEST(Budget, CarryOverAccumulates)
+{
+    // Unused allowance carries over across epochs (paper Sec IV-C1).
+    BudgetConfig cfg;
+    cfg.fraction = 0.01;
+    cfg.epoch_accesses = 100;
+    TrafficBudget b(cfg);
+    for (int i = 0; i < 1000; ++i)
+        b.onAccess();
+    EXPECT_NEAR(b.available(), 10.0, 1e-9); // 10 epochs x 1 carried
+}
+
+TEST(Budget, ForceSpendClampsAtZero)
+{
+    BudgetConfig cfg;
+    cfg.initial_pool_accesses = 5;
+    TrafficBudget b(cfg);
+    b.forceSpend(100);
+    EXPECT_DOUBLE_EQ(b.available(), 0.0);
+    EXPECT_EQ(b.totalSpent(), 100u);
+}
+
+TEST(Budget, SetPoolOverrides)
+{
+    TrafficBudget b;
+    b.setPool(1e6);
+    EXPECT_TRUE(b.trySpend(1000));
+    b.setPool(0.0);
+    EXPECT_FALSE(b.trySpend(1));
+}
+
+/** Budget-fraction sweep: spendable overhead tracks the fraction. */
+class BudgetFraction : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BudgetFraction, SteadyStateSpendRate)
+{
+    BudgetConfig cfg;
+    cfg.fraction = GetParam();
+    TrafficBudget b(cfg);
+    std::uint64_t spent = 0;
+    for (int i = 0; i < 100000; ++i) {
+        b.onAccess();
+        if (b.trySpend(1))
+            ++spent;
+    }
+    EXPECT_NEAR(static_cast<double>(spent) / 100000.0, GetParam(),
+                GetParam() * 0.05 + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, BudgetFraction,
+                         ::testing::Values(0.01, 0.02, 0.08));

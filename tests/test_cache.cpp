@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Cache tests: set-associative behaviour (hits, LRU order, writebacks),
+ * the three-level hierarchy's victim cascade, and the TLB.
+ */
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hpp"
+#include "cache/set_assoc.hpp"
+#include "cache/tlb.hpp"
+
+using namespace rmcc::cache;
+using rmcc::addr::Addr;
+
+TEST(SetAssoc, HitAfterMiss)
+{
+    SetAssocCache c("t", 4096, 4);
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x13f, false).hit); // same line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssoc, LruEvictionOrder)
+{
+    // 2 sets x 2 ways, 64 B lines: lines 0,2,4 map to set 0.
+    SetAssocCache c("t", 256, 2);
+    c.access(0 * 64, false);
+    c.access(2 * 64, false);
+    c.access(0 * 64, false); // refresh 0: LRU victim is 2
+    const AccessResult r = c.access(4 * 64, false);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.victim_addr, 2u * 64);
+    EXPECT_TRUE(c.probe(0 * 64));
+    EXPECT_FALSE(c.probe(2 * 64));
+}
+
+TEST(SetAssoc, DirtyEvictionIsWriteback)
+{
+    SetAssocCache c("t", 256, 2);
+    c.access(0 * 64, true);
+    c.access(2 * 64, false);
+    const AccessResult r = c.access(4 * 64, false); // evicts dirty 0
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victim_addr, 0u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(SetAssoc, CleanEvictionIsNotWriteback)
+{
+    SetAssocCache c("t", 256, 2);
+    c.access(0 * 64, false);
+    c.access(2 * 64, false);
+    EXPECT_FALSE(c.access(4 * 64, false).writeback);
+}
+
+TEST(SetAssoc, FillAndInvalidate)
+{
+    SetAssocCache c("t", 4096, 4);
+    c.fill(0x200, true);
+    EXPECT_TRUE(c.probe(0x200));
+    EXPECT_TRUE(c.invalidate(0x200)); // was dirty
+    EXPECT_FALSE(c.probe(0x200));
+    EXPECT_FALSE(c.invalidate(0x200));
+}
+
+TEST(SetAssoc, TouchDirtyMarksResidentLine)
+{
+    SetAssocCache c("t", 256, 2);
+    c.access(0, false);
+    c.touchDirty(0);
+    c.access(2 * 64, false);
+    EXPECT_TRUE(c.access(4 * 64, false).writeback);
+}
+
+TEST(SetAssoc, FifoDiffersFromLru)
+{
+    SetAssocCache lru("l", 256, 2, 64, ReplPolicy::LRU);
+    SetAssocCache fifo("f", 256, 2, 64, ReplPolicy::FIFO);
+    for (SetAssocCache *c : {&lru, &fifo}) {
+        c->access(0 * 64, false);
+        c->access(2 * 64, false);
+        c->access(0 * 64, false); // refresh 0 (no-op under FIFO)
+    }
+    EXPECT_EQ(lru.access(4 * 64, false).victim_addr, 2u * 64);
+    EXPECT_EQ(fifo.access(4 * 64, false).victim_addr, 0u);
+}
+
+/** Property sweep over cache geometries: conservation of accounting. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, unsigned>>
+{
+};
+
+TEST_P(CacheGeometry, AccountingConsistent)
+{
+    const auto [size, assoc] = GetParam();
+    SetAssocCache c("t", size, assoc);
+    std::uint64_t x = 88172645463325252ULL;
+    for (int i = 0; i < 20000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.access((x % (size * 8)) & ~63ULL, (x & 1) != 0);
+    }
+    EXPECT_EQ(c.hits() + c.misses(), 20000u);
+    EXPECT_LE(c.writebacks(), c.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::pair<std::uint64_t, unsigned>{4096, 1},
+                      std::pair<std::uint64_t, unsigned>{8192, 4},
+                      std::pair<std::uint64_t, unsigned>{32768, 8},
+                      std::pair<std::uint64_t, unsigned>{131072, 32}));
+
+TEST(Hierarchy, HitLevelsAndLatencies)
+{
+    Hierarchy h({1024, 2, 2.0}, {4096, 4, 4.0}, {16384, 8, 17.0});
+    const HierarchyResult m = h.access(0, false);
+    EXPECT_EQ(m.hit_level, 4u);
+    EXPECT_TRUE(m.llc_miss);
+    const HierarchyResult l1 = h.access(0, false);
+    EXPECT_EQ(l1.hit_level, 1u);
+    EXPECT_DOUBLE_EQ(l1.hit_latency_ns, 2.0);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    Hierarchy h({128, 1, 2.0}, {4096, 4, 4.0}, {16384, 8, 17.0});
+    h.access(0, false);        // miss everywhere, fills all levels
+    h.access(2 * 64, false);   // same L1 set (2 sets of 1 way): evicts 0
+    h.access(4 * 64, false);
+    const HierarchyResult r = h.access(0, false);
+    EXPECT_EQ(r.hit_level, 2u);
+    EXPECT_DOUBLE_EQ(r.hit_latency_ns, 6.0);
+}
+
+TEST(Hierarchy, DirtyDataEventuallyWritesBackToMemory)
+{
+    // Tiny hierarchy: writes must surface as memory writebacks once
+    // capacity is exceeded everywhere.
+    Hierarchy h({128, 1, 2.0}, {256, 1, 4.0}, {512, 1, 17.0});
+    int wbs = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const HierarchyResult r = h.access(i * 64, true);
+        wbs += r.memory_writeback.has_value();
+    }
+    EXPECT_GT(wbs, 0);
+}
+
+TEST(Tlb, HitsAndMisses)
+{
+    Tlb tlb(16, 4, 4096);
+    EXPECT_FALSE(tlb.access(0));
+    EXPECT_TRUE(tlb.access(100));    // same page
+    EXPECT_FALSE(tlb.access(4096)); // next page
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, HugePagesCoverMore)
+{
+    Tlb small(64, 4, 4096);
+    Tlb huge(64, 4, 2 * 1024 * 1024);
+    std::uint64_t small_misses = 0, huge_misses = 0;
+    for (std::uint64_t a = 0; a < (16ULL << 20); a += 8192) {
+        small_misses += !small.access(a);
+        huge_misses += !huge.access(a);
+    }
+    EXPECT_GT(small_misses, 10 * huge_misses);
+}

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Counter-scheme tests: monolithic/SC-64/Morphable semantics, overflow
+ * and releveling, min-shift re-encoding, 512-bit packing round trips,
+ * the integrity tree, and cross-scheme invariants.
+ */
+#include <gtest/gtest.h>
+
+#include "counters/monolithic.hpp"
+#include "counters/morphable.hpp"
+#include "counters/sc64.hpp"
+#include "counters/tree.hpp"
+
+using namespace rmcc::ctr;
+using rmcc::addr::CounterValue;
+
+TEST(Monolithic, BasicIncrementsNeverOverflow)
+{
+    MonolithicScheme s(64);
+    for (CounterValue v = 1; v <= 100; ++v) {
+        const WriteResult r = s.write(7, v);
+        EXPECT_FALSE(r.overflow);
+        EXPECT_EQ(r.new_value, v);
+    }
+    EXPECT_EQ(s.read(7), 100u);
+    EXPECT_EQ(s.overflows(), 0u);
+}
+
+TEST(Monolithic, CoverageIsEight)
+{
+    MonolithicScheme s(64);
+    EXPECT_EQ(s.coverage(), 8u);
+    EXPECT_EQ(s.blockOf(7), 0u);
+    EXPECT_EQ(s.blockOf(8), 1u);
+}
+
+TEST(Sc64, EncodableWithinMinorRange)
+{
+    Sc64Scheme s(128);
+    EXPECT_TRUE(s.encodable(0, 127));
+    EXPECT_FALSE(s.encodable(0, 128));
+}
+
+TEST(Sc64, OverflowRelevelsWholeBlockToMax)
+{
+    Sc64Scheme s(128);
+    s.write(0, 100);
+    s.write(1, 50);
+    const WriteResult r = s.write(2, 130); // exceeds 7-bit minor
+    EXPECT_TRUE(r.overflow);
+    EXPECT_EQ(r.new_value, 130u);
+    EXPECT_EQ(r.reencrypt_blocks, 64u);
+    // Every counter in the block releveled to the max.
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(s.read(i), 130u);
+    // Counter 64 is in the next block: untouched.
+    EXPECT_EQ(s.read(64), 0u);
+    EXPECT_EQ(s.major(0), 130u);
+    EXPECT_EQ(s.overflows(), 1u);
+}
+
+TEST(Sc64, PostRelevelWritesEncodeAgain)
+{
+    Sc64Scheme s(128);
+    s.write(0, 200); // overflow -> relevel to 200
+    const WriteResult r = s.write(1, 201);
+    EXPECT_FALSE(r.overflow);
+}
+
+TEST(Morphable, CoverageIs128)
+{
+    MorphableScheme s(256);
+    EXPECT_EQ(s.coverage(), 128u);
+}
+
+TEST(Morphable, FormatProgression)
+{
+    MorphableScheme s(128);
+    EXPECT_EQ(s.format(0), MorphFormat::Uniform3);
+    s.write(0, 5); // offset 5: still uniform
+    EXPECT_EQ(s.format(0), MorphFormat::Uniform3);
+    s.write(1, 100); // one big offset: exception slot
+    EXPECT_EQ(s.format(0), MorphFormat::Uniform3X);
+    s.write(2, 5000); // very large: still within 13-bit exceptions
+    EXPECT_EQ(s.format(0), MorphFormat::Uniform3X);
+    s.write(3, 40000); // 16-bit offsets: index-list format
+    EXPECT_EQ(s.format(0), MorphFormat::Index16);
+    EXPECT_EQ(s.overflows(), 0u);
+}
+
+TEST(Morphable, BitmapFormatForManyMediumOffsets)
+{
+    MorphableScheme s(128);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        s.write(i, 40); // 20 non-zero offsets < 64
+    EXPECT_EQ(s.format(0), MorphFormat::Bitmap6);
+    EXPECT_EQ(s.overflows(), 0u);
+}
+
+TEST(Morphable, MinShiftReencodesWithoutOverflow)
+{
+    // All counters drift upward together: the major slides, no rebase.
+    MorphableScheme s(128);
+    for (CounterValue round = 1; round <= 40; ++round)
+        for (std::uint64_t i = 0; i < 128; ++i)
+            s.write(i, round);
+    EXPECT_EQ(s.overflows(), 0u);
+    EXPECT_EQ(s.read(0), 40u);
+    EXPECT_GT(s.major(0), 0u); // major slid upward
+    EXPECT_GT(s.morphs(), 0u);
+}
+
+TEST(Morphable, DivergentSpreadForcesRebase)
+{
+    MorphableScheme s(128);
+    // >3 counters far above while many small non-zeros exist.
+    for (std::uint64_t i = 0; i < 60; ++i)
+        s.write(i, 1 + i % 7);
+    std::uint64_t before = s.overflows();
+    for (std::uint64_t i = 0; i < 5; ++i)
+        s.write(i, 70000 + i);
+    EXPECT_GT(s.overflows(), before);
+    // The first divergent write rebased the block: every counter was
+    // releveled to at least that write's value.
+    for (std::uint64_t i = 0; i < 128; ++i)
+        EXPECT_GE(s.read(i), 70000u);
+    EXPECT_EQ(s.read(127), 70000u);
+    EXPECT_EQ(s.read(4), 70004u); // later writes encode in place
+}
+
+TEST(Morphable, RelevelBlockSetsAllEqual)
+{
+    MorphableScheme s(128);
+    s.write(0, 3);
+    s.write(1, 7);
+    const WriteResult r = s.relevelBlock(0, 500);
+    EXPECT_EQ(r.reencrypt_blocks, 128u);
+    for (std::uint64_t i = 0; i < 128; ++i)
+        EXPECT_EQ(s.read(i), 500u);
+    EXPECT_EQ(s.major(0), 500u);
+    EXPECT_EQ(s.format(0), MorphFormat::Uniform3);
+}
+
+TEST(Morphable, CheaplyEncodableIsDenseRange)
+{
+    MorphableScheme s(128);
+    s.relevelBlock(0, 100);
+    EXPECT_TRUE(s.cheaplyEncodable(0, 105));
+    EXPECT_FALSE(s.cheaplyEncodable(0, 109)); // span 9 >= 8
+}
+
+TEST(Morphable, PackUnpackRoundTripAllFormats)
+{
+    MorphableScheme s(128);
+    auto roundtrip = [&]() {
+        const auto bits = s.packBlock(0);
+        const auto [major, offsets] = MorphableScheme::unpackBlock(bits);
+        EXPECT_EQ(major, s.major(0));
+        for (std::uint64_t i = 0; i < 128; ++i)
+            EXPECT_EQ(major + offsets[i], s.read(i))
+                << "mismatch at " << i << " fmt "
+                << static_cast<int>(s.format(0));
+    };
+    roundtrip(); // Uniform3 (all zero)
+    s.write(0, 5);
+    roundtrip(); // Uniform3
+    s.write(1, 100);
+    roundtrip(); // Uniform3X
+    s.write(2, 50);
+    s.write(3, 40);
+    s.write(4, 30);
+    roundtrip(); // Bitmap6 territory
+    s.write(5, 200);
+    roundtrip(); // Bitmap8
+    s.write(6, 30000);
+    roundtrip(); // Index16 (if it still fits) or post-rebase Uniform3
+}
+
+TEST(Morphable, PayloadsFitIn64Bytes)
+{
+    for (const MorphFormatInfo &fmt : morphFormats())
+        EXPECT_LE(fmt.payload_bits, 448u) << static_cast<int>(fmt.id);
+}
+
+TEST(SchemeFactory, KindsAndCoverage)
+{
+    EXPECT_EQ(schemeCoverage(SchemeKind::SgxMonolithic), 8u);
+    EXPECT_EQ(schemeCoverage(SchemeKind::SC64), 64u);
+    EXPECT_EQ(schemeCoverage(SchemeKind::Morphable), 128u);
+    EXPECT_EQ(makeScheme(SchemeKind::SC64, 64)->name(), "SC-64");
+}
+
+/** Cross-scheme invariants under random monotone write streams. */
+class SchemeInvariants : public ::testing::TestWithParam<SchemeKind>
+{
+};
+
+TEST_P(SchemeInvariants, CountersNeverDecreaseAndNeverRepeat)
+{
+    auto s = makeScheme(GetParam(), 512);
+    rmcc::util::Rng rng(42);
+    std::vector<CounterValue> last(512, 0);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t idx = rng.nextBelow(512);
+        const CounterValue cur = s->read(idx);
+        const WriteResult r = s->write(idx, cur + 1);
+        // The value actually assigned never decreases and strictly
+        // exceeds the previous value of this entity (no counter reuse:
+        // the counter-mode security invariant).
+        EXPECT_GT(r.new_value, last[idx]);
+        for (std::uint64_t j = 0; j < 512; ++j) {
+            EXPECT_GE(s->read(j), last[j]) << "decreased at " << j;
+            last[j] = s->read(j);
+        }
+        if (i == 100)
+            break; // full scan is quadratic; spot-check the prefix
+    }
+    // Longer run with lighter checking.
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t idx = rng.nextBelow(512);
+        const CounterValue cur = s->read(idx);
+        const WriteResult r = s->write(idx, cur + 1);
+        EXPECT_GT(r.new_value, cur);
+    }
+}
+
+TEST_P(SchemeInvariants, RandomInitEncodableAndBounded)
+{
+    auto s = makeScheme(GetParam(), 1024);
+    rmcc::util::Rng rng(7);
+    s->randomInit(rng, 100000);
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+        EXPECT_GE(s->read(i), 100000u / 2);
+        EXPECT_LT(s->read(i), 100000u * 2);
+    }
+    // Post-init, +1 writes should be mostly encodable.
+    std::uint64_t overflows = 0;
+    for (std::uint64_t i = 0; i < 1024; ++i)
+        overflows += s->write(i, s->read(i) + 1).overflow;
+    EXPECT_LT(overflows, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeInvariants,
+                         ::testing::Values(SchemeKind::SgxMonolithic,
+                                           SchemeKind::SC64,
+                                           SchemeKind::Morphable));
+
+TEST(Tree, LevelsAndEntities)
+{
+    IntegrityTree tree(SchemeKind::Morphable, 128 * 128 * 4);
+    // The 4 L1 counter blocks' own counters live in the on-chip root.
+    EXPECT_EQ(tree.levels(), 2u);
+    EXPECT_EQ(tree.level(0).entities(), 128u * 128 * 4);
+    EXPECT_EQ(tree.level(1).entities(), 128u * 4);
+    EXPECT_EQ(tree.blocksAt(1), 4u);
+}
+
+TEST(Tree, BlockAddressesMatchLayout)
+{
+    IntegrityTree tree(SchemeKind::Morphable, 128 * 128);
+    const auto a0 = tree.blockAddr(0, 0);
+    EXPECT_EQ(a0, tree.layout().counterBlockAddr(0, 0));
+    EXPECT_GT(tree.blockAddr(1, 0), tree.blockAddr(0, 127));
+}
+
+TEST(Tree, ObservedMaxTracksAllLevels)
+{
+    IntegrityTree tree(SchemeKind::SgxMonolithic, 8 * 8 * 16);
+    tree.level(1).write(0, 777);
+    EXPECT_EQ(tree.observedMax(), 777u);
+}
+
+TEST(Tree, RandomInitAllLevels)
+{
+    IntegrityTree tree(SchemeKind::Morphable, 128 * 128);
+    rmcc::util::Rng rng(3);
+    tree.randomInit(rng, 5000);
+    EXPECT_GE(tree.level(0).read(0), 2500u);
+    EXPECT_GE(tree.level(1).read(0), 2500u);
+    EXPECT_GE(tree.observedMax(), 5000u / 2);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * OoO CPU-proxy tests: retire bandwidth, window-limited overlap, MSHR
+ * limits, and stall semantics.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/cpu_model.hpp"
+
+using namespace rmcc::sim;
+
+TEST(Cpu, PeakRetireRate)
+{
+    CpuModel cpu; // 3.2 GHz x 4-wide = 12.8 inst/ns
+    for (int i = 0; i < 1280; ++i)
+        cpu.advance(0);
+    EXPECT_NEAR(cpu.now(), 1280.0 / 12.8, 1e-6);
+    EXPECT_EQ(cpu.instructions(), 1280u);
+}
+
+TEST(Cpu, InstructionGapsAccumulate)
+{
+    CpuModel cpu;
+    cpu.advance(9); // 10 instructions total
+    EXPECT_EQ(cpu.instructions(), 10u);
+}
+
+TEST(Cpu, IndependentMissesOverlap)
+{
+    // Two misses of 100 ns each, close together: the window lets them
+    // overlap, so total time is ~100 ns, not 200.
+    CpuModel cpu;
+    const double t1 = cpu.advance(0);
+    cpu.recordLongLatency(t1 + 100.0);
+    const double t2 = cpu.advance(0);
+    cpu.recordLongLatency(t2 + 100.0);
+    for (int i = 0; i < 50; ++i)
+        cpu.advance(0);
+    const double end = cpu.finish();
+    EXPECT_LT(end, 120.0);
+}
+
+TEST(Cpu, WindowLimitSerializesDistantMisses)
+{
+    // A miss issued, then > ROB instructions, then the clock must have
+    // waited for the miss before retiring the younger instructions.
+    CpuConfig cfg;
+    CpuModel cpu(cfg);
+    const double t1 = cpu.advance(0);
+    cpu.recordLongLatency(t1 + 500.0);
+    // Advance well past the 192-entry window.
+    for (unsigned i = 0; i < cfg.rob + 8; ++i)
+        cpu.advance(0);
+    EXPECT_GE(cpu.now(), t1 + 500.0);
+}
+
+TEST(Cpu, MshrLimitBoundsOutstanding)
+{
+    CpuConfig cfg;
+    cfg.mshrs = 2;
+    cfg.rob = 10000; // window never binds in this test
+    CpuModel cpu(cfg);
+    // Three long misses back-to-back: the third must wait for the first.
+    cpu.recordLongLatency(1000.0);
+    cpu.recordLongLatency(1000.0);
+    cpu.advance(0);
+    EXPECT_GE(cpu.now(), 1000.0);
+}
+
+TEST(Cpu, StallUntilMovesClockForwardOnly)
+{
+    CpuModel cpu;
+    cpu.stallUntil(50.0);
+    EXPECT_DOUBLE_EQ(cpu.now(), 50.0);
+    cpu.stallUntil(10.0);
+    EXPECT_DOUBLE_EQ(cpu.now(), 50.0);
+}
+
+TEST(Cpu, FinishDrainsAllOutstanding)
+{
+    CpuModel cpu;
+    cpu.advance(0);
+    cpu.recordLongLatency(300.0);
+    cpu.recordLongLatency(700.0);
+    EXPECT_DOUBLE_EQ(cpu.finish(), 700.0);
+}
+
+TEST(Cpu, MemoryBoundSlowerThanComputeBound)
+{
+    CpuModel compute, memory;
+    for (int i = 0; i < 1000; ++i) {
+        compute.advance(20);
+        const double t = memory.advance(20);
+        memory.recordLongLatency(t + 80.0);
+    }
+    EXPECT_GT(memory.finish(), compute.finish());
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Experiment-harness tests: the standard configuration builders, derived
+ * metrics of SimResult, the RMCC_FAST scaler, and the suite runner's
+ * trace sharing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/experiments.hpp"
+
+using namespace rmcc;
+using namespace rmcc::sim;
+
+TEST(Configs, NonSecureDisablesProtection)
+{
+    const NamedConfig nc = nonSecureConfig(SimMode::Timing);
+    EXPECT_FALSE(nc.cfg.secure);
+    EXPECT_EQ(nc.label, "non-secure");
+    EXPECT_EQ(nc.cfg.mode, SimMode::Timing);
+}
+
+TEST(Configs, BaselineCarriesSchemeName)
+{
+    const NamedConfig nc =
+        baselineConfig(SimMode::Functional, ctr::SchemeKind::SC64);
+    EXPECT_TRUE(nc.cfg.secure);
+    EXPECT_FALSE(nc.cfg.rmcc);
+    EXPECT_EQ(nc.label, "SC-64");
+    EXPECT_EQ(nc.cfg.mode, SimMode::Functional);
+}
+
+TEST(Configs, RmccOnTopOfMorphable)
+{
+    const NamedConfig nc = rmccConfig(SimMode::Timing);
+    EXPECT_TRUE(nc.cfg.rmcc);
+    EXPECT_EQ(nc.cfg.scheme, ctr::SchemeKind::Morphable);
+    EXPECT_EQ(nc.label, "RMCC");
+}
+
+TEST(Configs, PresetsDifferAsInPaper)
+{
+    const SystemConfig timing = SystemConfig::timingDefault();
+    const SystemConfig pintool = SystemConfig::functionalDefault();
+    EXPECT_EQ(timing.counter_cache_bytes, 128u * 1024);
+    EXPECT_EQ(pintool.counter_cache_bytes, 32u * 1024);
+    EXPECT_EQ(timing.llc.size_bytes, 8ULL * 1024 * 1024);
+    EXPECT_EQ(pintool.llc.size_bytes, 2ULL * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(timing.lat.aes_ns, 15.0);
+    EXPECT_DOUBLE_EQ(mc::LatencyConfig::aes256().aes_ns, 22.0);
+}
+
+TEST(Configs, FastEnvScalesTraces)
+{
+    std::vector<NamedConfig> configs = {rmccConfig(SimMode::Timing)};
+    const std::size_t before = configs[0].cfg.trace_records;
+    setenv("RMCC_FAST", "1", 1);
+    applyFastEnv(configs);
+    unsetenv("RMCC_FAST");
+    EXPECT_EQ(configs[0].cfg.trace_records, before / 8);
+}
+
+TEST(Configs, FastEnvOffByDefault)
+{
+    unsetenv("RMCC_FAST");
+    std::vector<NamedConfig> configs = {rmccConfig(SimMode::Timing)};
+    const std::size_t before = configs[0].cfg.trace_records;
+    applyFastEnv(configs);
+    EXPECT_EQ(configs[0].cfg.trace_records, before);
+}
+
+TEST(SimResultT, DerivedMetrics)
+{
+    SimResult r;
+    r.instructions = 1000;
+    r.elapsed_ns = 500.0;
+    r.stats.set("ctr.l0_miss", 30);
+    r.stats.set("mc.reads", 100);
+    r.stats.set("lat.read_sum_ns", 5000);
+    r.stats.set("memo.l0_hit_on_miss", 24);
+    r.stats.set("memo.l0_lookups_on_miss", 30);
+    r.stats.set("memo.accelerated_misses", 27);
+    r.stats.set("dram.total", 250);
+    r.stats.set("tlb.misses", 10);
+    EXPECT_DOUBLE_EQ(r.perf(), 2.0);
+    EXPECT_DOUBLE_EQ(r.counterMissRate(), 0.3);
+    EXPECT_DOUBLE_EQ(r.avgReadLatencyNs(), 50.0);
+    EXPECT_DOUBLE_EQ(r.memoHitRateOnMiss(), 0.8);
+    EXPECT_DOUBLE_EQ(r.acceleratedMissRate(), 0.9);
+    EXPECT_DOUBLE_EQ(r.dramAccesses(), 250.0);
+    EXPECT_DOUBLE_EQ(r.tlbMissPerLlcMiss(), 0.1);
+}
+
+TEST(SimResultT, EmptyResultIsSafe)
+{
+    const SimResult r;
+    EXPECT_DOUBLE_EQ(r.perf(), 0.0);
+    EXPECT_DOUBLE_EQ(r.counterMissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(r.memoHitRateAll(), 0.0);
+}
+
+TEST(SuiteRunner, SharedTraceAcrossConfigs)
+{
+    // runWorkload generates one trace and feeds every configuration the
+    // same instruction stream, so normalized comparisons are apples to
+    // apples: instruction counts must agree across configs.
+    std::vector<NamedConfig> configs = {
+        nonSecureConfig(SimMode::Timing),
+        rmccConfig(SimMode::Timing),
+    };
+    for (auto &nc : configs) {
+        nc.cfg.trace_records = 60000;
+        nc.cfg.warmup_records = 30000;
+    }
+    const auto *w = wl::findWorkload("omnetpp");
+    const SuiteRow row = runWorkload(*w, configs);
+    ASSERT_EQ(row.results.size(), 2u);
+    EXPECT_EQ(row.results[0].instructions, row.results[1].instructions);
+    EXPECT_EQ(row.workload, "omnetpp");
+    EXPECT_EQ(row.results[0].config_label, "non-secure");
+    EXPECT_EQ(row.results[1].config_label, "RMCC");
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * NIST SP 800-22 battery tests: AES output must pass, pathological
+ * streams must fail, and igamc must match known values.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/aes.hpp"
+#include "crypto/otp.hpp"
+#include "crypto/nist.hpp"
+
+using namespace rmcc::crypto;
+
+namespace
+{
+
+BitStream
+aesStream(std::uint64_t seed, std::size_t blocks)
+{
+    const Aes aes = Aes::fromSeed(seed);
+    BitStream bits;
+    for (std::size_t i = 0; i < blocks; ++i) {
+        const Block128 ct = aes.encrypt(makeBlock(0, i));
+        bits.appendBytes(ct.data(), ct.size());
+    }
+    return bits;
+}
+
+BitStream
+constantStream(std::uint8_t byte, std::size_t n)
+{
+    BitStream bits;
+    for (std::size_t i = 0; i < n; ++i)
+        bits.appendByte(byte);
+    return bits;
+}
+
+} // namespace
+
+TEST(BitStreamT, AppendAndIndex)
+{
+    BitStream bits;
+    bits.appendByte(0b10110001);
+    EXPECT_EQ(bits.size(), 8u);
+    EXPECT_EQ(bits.bit(0), 1);
+    EXPECT_EQ(bits.bit(1), 0);
+    EXPECT_EQ(bits.bit(4), 1);
+    EXPECT_EQ(bits.bit(7), 1);
+}
+
+TEST(Igamc, KnownValues)
+{
+    // Q(1, x) = exp(-x).
+    EXPECT_NEAR(igamc(1.0, 1.0), std::exp(-1.0), 1e-10);
+    EXPECT_NEAR(igamc(1.0, 2.5), std::exp(-2.5), 1e-10);
+    // Q(0.5, x) = erfc(sqrt(x)).
+    EXPECT_NEAR(igamc(0.5, 4.0), std::erfc(2.0), 1e-9);
+    // Degenerate arguments.
+    EXPECT_DOUBLE_EQ(igamc(1.0, 0.0), 1.0);
+}
+
+TEST(Nist, AesPassesBattery)
+{
+    const BitStream bits = aesStream(7, 2048); // 32 KB of AES output
+    for (const NistResult &r : runNistBattery(bits))
+        EXPECT_TRUE(r.pass) << r.name << " p=" << r.p_value;
+}
+
+TEST(Nist, AllZerosFails)
+{
+    const BitStream bits = constantStream(0x00, 4096);
+    const NistResult r = frequencyTest(bits);
+    EXPECT_FALSE(r.pass);
+}
+
+TEST(Nist, AlternatingBitsFailsRunsOrSerial)
+{
+    // 0101... has perfect balance but pathological run structure.
+    const BitStream bits = constantStream(0xAA, 4096);
+    EXPECT_TRUE(frequencyTest(bits).pass);
+    const bool caught = !runsTest(bits).pass || !serialTest(bits).pass ||
+                        !approximateEntropyTest(bits).pass;
+    EXPECT_TRUE(caught);
+}
+
+TEST(Nist, BiasedStreamFailsFrequency)
+{
+    // Bytes with 6 of 8 bits set.
+    const BitStream bits = constantStream(0xFC, 4096);
+    EXPECT_FALSE(frequencyTest(bits).pass);
+}
+
+TEST(Nist, LongestRunDetectsClusters)
+{
+    // 64 one-bits then 64 zero-bits per 128-bit block: longest run is
+    // always >= 9 category.
+    BitStream bits;
+    for (int b = 0; b < 512; ++b) {
+        for (int i = 0; i < 8; ++i)
+            bits.appendByte(0xff);
+        for (int i = 0; i < 8; ++i)
+            bits.appendByte(0x00);
+    }
+    EXPECT_FALSE(longestRunTest(bits).pass);
+}
+
+/** RMCC's combined OTPs must pass NIST at the same rate as raw AES. */
+TEST(Nist, RmccOtpStreamPasses)
+{
+    const Aes enc = Aes::fromSeed(11), mac = Aes::fromSeed(13);
+    RmccOtpEngine otp(enc, mac);
+    BitStream bits;
+    for (std::uint64_t i = 0; i < 2048; ++i) {
+        const Block128 pad =
+            otp.encryptionOtp(0x1000 + 64 * (i % 64), i % 4, 100 + i / 4);
+        bits.appendBytes(pad.data(), pad.size());
+    }
+    for (const NistResult &r : runNistBattery(bits))
+        EXPECT_TRUE(r.pass) << r.name << " p=" << r.p_value;
+}
+
+/** Parameterized: different AES seeds all pass (stability of the tests). */
+class NistSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(NistSeeds, AesPasses)
+{
+    const BitStream bits = aesStream(GetParam(), 1024);
+    for (const NistResult &r : runNistBattery(bits))
+        EXPECT_TRUE(r.pass) << r.name << " p=" << r.p_value;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NistSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

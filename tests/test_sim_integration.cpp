@@ -1,0 +1,167 @@
+/**
+ * @file
+ * End-to-end integration tests: functional and timing simulations over
+ * real workload traces, cross-config orderings (non-secure fastest,
+ * RMCC >= Morphable on irregular workloads), statistic conservation, and
+ * determinism.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/experiments.hpp"
+
+using namespace rmcc;
+using namespace rmcc::sim;
+
+namespace
+{
+
+/** Small-but-real experiment shape to keep the test quick. */
+void
+shrink(SystemConfig &cfg)
+{
+    cfg.trace_records = 150000;
+    cfg.warmup_records = 75000;
+    // At this miniature scale the default lifetime-warmup grant cannot
+    // relevel a full working set; give the emulated prior lifetime
+    // enough budget to converge, as the full-scale defaults do.
+    cfg.precondition_budget_fraction = 30.0;
+}
+
+} // namespace
+
+TEST(Integration, FunctionalStatsConservation)
+{
+    NamedConfig nc = baselineConfig(SimMode::Functional,
+                                    ctr::SchemeKind::Morphable);
+    shrink(nc.cfg);
+    const auto *w = wl::findWorkload("canneal");
+    const auto trace = wl::generateTrace(*w, nc.cfg.trace_records, 42);
+    const SimResult r = runOne(w->name, trace, nc);
+    EXPECT_DOUBLE_EQ(r.stats.get("mc.reads"), r.stats.get("sim.llc_misses"));
+    EXPECT_DOUBLE_EQ(r.stats.get("ctr.l0_hit") + r.stats.get("ctr.l0_miss"),
+                     r.stats.get("mc.reads"));
+    EXPECT_GT(r.counterMissRate(), 0.5); // canneal thrashes counters
+    EXPECT_LE(r.counterMissRate(), 1.0);
+}
+
+TEST(Integration, TimingOrderingNonSecureFastest)
+{
+    std::vector<NamedConfig> configs = {
+        nonSecureConfig(SimMode::Timing),
+        baselineConfig(SimMode::Timing, ctr::SchemeKind::SC64),
+        baselineConfig(SimMode::Timing, ctr::SchemeKind::Morphable),
+    };
+    for (auto &nc : configs)
+        shrink(nc.cfg);
+    const auto *w = wl::findWorkload("canneal");
+    const SuiteRow row = runWorkload(*w, configs);
+    const double nonsecure = row.results[0].perf();
+    const double sc64 = row.results[1].perf();
+    const double morph = row.results[2].perf();
+    EXPECT_GT(nonsecure, morph);
+    EXPECT_GT(nonsecure, sc64);
+    // Morphable's 128-block coverage beats SC-64 on irregular workloads.
+    EXPECT_GE(morph, sc64 * 0.98);
+}
+
+TEST(Integration, RmccBeatsMorphableOnCanneal)
+{
+    std::vector<NamedConfig> configs = {
+        baselineConfig(SimMode::Timing, ctr::SchemeKind::Morphable),
+        rmccConfig(SimMode::Timing),
+    };
+    for (auto &nc : configs)
+        shrink(nc.cfg);
+    const auto *w = wl::findWorkload("canneal");
+    const SuiteRow row = runWorkload(*w, configs);
+    EXPECT_GT(row.results[1].perf(), row.results[0].perf());
+    EXPECT_LT(row.results[1].avgReadLatencyNs(),
+              row.results[0].avgReadLatencyNs());
+    EXPECT_GT(row.results[1].acceleratedMissRate(), 0.8);
+}
+
+TEST(Integration, RmccMemoHitRateHighAfterLifetimeWarmup)
+{
+    NamedConfig nc = rmccConfig(SimMode::Functional);
+    shrink(nc.cfg);
+    const auto *w = wl::findWorkload("canneal");
+    const auto trace = wl::generateTrace(*w, nc.cfg.trace_records, 42);
+    const SimResult r = runOne(w->name, trace, nc);
+    EXPECT_GT(r.memoHitRateAll(), 0.8);
+    EXPECT_GT(r.stats.get("rmcc.avg_coverage_l0"), 100.0);
+}
+
+TEST(Integration, RmccTrafficOverheadBounded)
+{
+    std::vector<NamedConfig> configs = {
+        baselineConfig(SimMode::Functional, ctr::SchemeKind::Morphable),
+        rmccConfig(SimMode::Functional),
+    };
+    for (auto &nc : configs)
+        shrink(nc.cfg);
+    const auto *w = wl::findWorkload("canneal");
+    const SuiteRow row = runWorkload(*w, configs);
+    const double overhead = row.results[1].dramAccesses() /
+                                row.results[0].dramAccesses() -
+                            1.0;
+    // 1% budget per level plus residual convergence: well under 10%.
+    EXPECT_LT(overhead, 0.10);
+    EXPECT_GT(overhead, -0.10);
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    NamedConfig nc = rmccConfig(SimMode::Timing);
+    shrink(nc.cfg);
+    const auto *w = wl::findWorkload("omnetpp");
+    const auto trace = wl::generateTrace(*w, nc.cfg.trace_records, 42);
+    const SimResult a = runOne(w->name, trace, nc);
+    const SimResult b = runOne(w->name, trace, nc);
+    EXPECT_DOUBLE_EQ(a.elapsed_ns, b.elapsed_ns);
+    EXPECT_DOUBLE_EQ(a.dramAccesses(), b.dramAccesses());
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(Integration, HugePagesNearlyEliminateTlbMisses)
+{
+    NamedConfig small = baselineConfig(SimMode::Functional,
+                                       ctr::SchemeKind::Morphable);
+    shrink(small.cfg);
+    small.cfg.page_mode = addr::PageMode::Small4K;
+    NamedConfig huge = small;
+    huge.cfg.page_mode = addr::PageMode::Huge2M;
+    const auto *w = wl::findWorkload("canneal");
+    const auto trace = wl::generateTrace(*w, small.cfg.trace_records, 42);
+    const SimResult rs = runOne(w->name, trace, small);
+    const SimResult rh = runOne(w->name, trace, huge);
+    EXPECT_GT(rs.stats.get("tlb.misses"),
+              10.0 * (rh.stats.get("tlb.misses") + 1.0));
+}
+
+TEST(Integration, SystemMaxGrowsModestlyUnderRmcc)
+{
+    // Sec IV-D2: RMCC raises the maximum counter value faster than the
+    // baseline, but only modestly (paper: +24% geomean over lifetimes).
+    std::vector<NamedConfig> configs = {
+        baselineConfig(SimMode::Functional, ctr::SchemeKind::Morphable),
+        rmccConfig(SimMode::Functional),
+    };
+    for (auto &nc : configs)
+        shrink(nc.cfg);
+    const auto *w = wl::findWorkload("canneal");
+    const SuiteRow row = runWorkload(*w, configs);
+    const double base_max = row.results[0].stats.get("ctr.observed_max");
+    const double rmcc_max = row.results[1].stats.get("ctr.observed_max");
+    EXPECT_GE(rmcc_max, base_max * 0.99);
+    EXPECT_LT(rmcc_max, base_max * 3.0);
+}
+
+TEST(Integration, Table1DescribeMentionsKeyRows)
+{
+    const SystemConfig cfg = SystemConfig::timingDefault();
+    const std::string text = cfg.describe();
+    for (const char *key :
+         {"192 entry ROB", "1536 entries", "Counter Cache", "AES latency",
+          "FR-FCFS", "XOR-based"})
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+}

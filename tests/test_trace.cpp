@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace-layer tests: buffer bounds and statistics, traced-heap address
+ * assignment, and recorded load/store streams.
+ */
+#include <gtest/gtest.h>
+
+#include "trace/traced_memory.hpp"
+
+using namespace rmcc::trace;
+using rmcc::addr::kHugePageSize;
+
+TEST(TraceBuffer, CapacityEnforced)
+{
+    TraceBuffer buf(3);
+    for (int i = 0; i < 10; ++i)
+        buf.append(64 * static_cast<std::uint64_t>(i), false, 0);
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(TraceBuffer, StatsTrackWritesAndInstructions)
+{
+    TraceBuffer buf(10);
+    buf.append(0, false, 4);
+    buf.append(64, true, 9);
+    EXPECT_EQ(buf.writes(), 1u);
+    EXPECT_EQ(buf.totalInstructions(), 2u + 4 + 9);
+}
+
+TEST(TraceBuffer, DistinctBlocks)
+{
+    TraceBuffer buf(10);
+    buf.append(0, false, 0);
+    buf.append(32, false, 0);  // same 64 B block
+    buf.append(64, false, 0);  // next block
+    buf.append(200, true, 0);  // third block
+    EXPECT_EQ(buf.distinctBlocks(), 3u);
+}
+
+TEST(TracedHeap, AllocationsAreHugePageAlignedAndDisjoint)
+{
+    TraceBuffer buf(10);
+    TracedHeap heap(buf, 0.0, 1);
+    const auto a = heap.allocate(1000, 8, "a");
+    const auto b = heap.allocate(1000, 8, "b");
+    EXPECT_EQ(a % kHugePageSize, 0u);
+    EXPECT_EQ(b % kHugePageSize, 0u);
+    EXPECT_GE(b, a + 8000);
+}
+
+TEST(TracedArray, RecordsAccessesAtElementAddresses)
+{
+    TraceBuffer buf(100);
+    TracedHeap heap(buf, 0.0, 1);
+    TracedArray<std::uint64_t> arr(heap, 64, "arr");
+    arr.set(3, 42);
+    EXPECT_EQ(arr.get(3), 42u);
+    ASSERT_EQ(buf.size(), 2u);
+    EXPECT_TRUE(buf.records()[0].is_write);
+    EXPECT_FALSE(buf.records()[1].is_write);
+    EXPECT_EQ(buf.records()[0].vaddr, arr.base() + 3 * 8);
+    EXPECT_EQ(buf.records()[1].vaddr, buf.records()[0].vaddr);
+}
+
+TEST(TracedArray, RawAccessIsUntraced)
+{
+    TraceBuffer buf(100);
+    TracedHeap heap(buf, 0.0, 1);
+    TracedArray<int> arr(heap, 8, "arr");
+    arr.raw(2) = 7;
+    EXPECT_EQ(arr.raw(2), 7);
+    EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(TracedHeap, DoneWhenBufferFull)
+{
+    TraceBuffer buf(2);
+    TracedHeap heap(buf, 0.0, 1);
+    TracedArray<int> arr(heap, 8, "arr");
+    EXPECT_FALSE(heap.done());
+    arr.set(0, 1);
+    arr.set(1, 2);
+    EXPECT_TRUE(heap.done());
+}
+
+TEST(TracedHeap, InstructionGapsFollowDensity)
+{
+    TraceBuffer buf(5000);
+    TracedHeap heap(buf, 6.0, 99);
+    TracedArray<int> arr(heap, 64, "arr");
+    for (int i = 0; i < 5000 && !heap.done(); ++i)
+        arr.set(static_cast<std::uint64_t>(i) % 64, i);
+    const double mean =
+        static_cast<double>(buf.totalInstructions() - buf.size()) /
+        static_cast<double>(buf.size());
+    EXPECT_NEAR(mean, 6.0, 1.0);
+}

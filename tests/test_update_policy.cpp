@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Memoization-aware counter-update tests (Sec IV-B/C): jump-to-nearest,
+ * cheap vs far jumps, whole-block relevels, budget gating, and the
+ * security invariant that counters only ever increase.
+ */
+#include <gtest/gtest.h>
+
+#include "core/update_policy.hpp"
+#include "counters/morphable.hpp"
+#include "counters/monolithic.hpp"
+
+using namespace rmcc::core;
+using namespace rmcc::ctr;
+
+namespace
+{
+
+struct PolicyRig
+{
+    MemoTable table;
+    TrafficBudget budget;
+    UpdatePolicy policy{table, budget, true};
+    MorphableScheme scheme{256};
+
+    explicit PolicyRig(double pool = 0.0)
+    {
+        budget.setPool(pool);
+    }
+};
+
+} // namespace
+
+TEST(UpdatePolicy, DisabledMeansBaselinePlusOne)
+{
+    MemoTable table;
+    TrafficBudget budget;
+    UpdatePolicy policy(table, budget, false);
+    MorphableScheme scheme(128);
+    table.insertGroup(100);
+    const UpdateOutcome out = policy.onWrite(scheme, 0);
+    EXPECT_EQ(out.value, 1u);
+    EXPECT_FALSE(out.used_memo_target);
+}
+
+TEST(UpdatePolicy, NoMemoizedValueAboveFallsBackToPlusOne)
+{
+    PolicyRig rig;
+    rig.scheme.relevelBlock(0, 500);
+    rig.table.insertGroup(100); // max memoized = 107 < 500
+    const UpdateOutcome out = rig.policy.onWrite(rig.scheme, 0);
+    EXPECT_EQ(out.value, 501u);
+    EXPECT_FALSE(out.used_memo_target);
+}
+
+TEST(UpdatePolicy, CheapJumpToNearestMemoizedValue)
+{
+    PolicyRig rig;
+    rig.scheme.relevelBlock(0, 100);
+    rig.table.insertGroup(103); // nearest above 100 is 103, span 3 < 8
+    const UpdateOutcome out = rig.policy.onWrite(rig.scheme, 0);
+    EXPECT_EQ(out.value, 103u);
+    EXPECT_TRUE(out.used_memo_target);
+    EXPECT_EQ(out.overhead_accesses, 0u);
+    EXPECT_EQ(out.reencrypt_blocks, 0u);
+}
+
+TEST(UpdatePolicy, GroupWalkIsPlusOneInsideGroup)
+{
+    // Consecutive writebacks walk the group one value at a time
+    // (paper Fig 7): counters 103 -> 104 -> 105 ...
+    PolicyRig rig;
+    rig.scheme.relevelBlock(0, 100);
+    rig.table.insertGroup(103);
+    rmcc::addr::CounterValue prev = 100;
+    for (int w = 0; w < 5; ++w) {
+        const UpdateOutcome out = rig.policy.onWrite(rig.scheme, 0);
+        EXPECT_EQ(out.value, std::max<rmcc::addr::CounterValue>(
+                                 prev + 1, 103u));
+        prev = out.value;
+    }
+    EXPECT_EQ(rig.scheme.read(0), 107u);
+}
+
+TEST(UpdatePolicy, FarJumpRelevelsWholeBlockWhenBudgetAllows)
+{
+    PolicyRig rig(10000.0);
+    rig.scheme.relevelBlock(0, 100);
+    rig.table.insertGroup(5000); // far above the dense range
+    const UpdateOutcome out = rig.policy.onWrite(rig.scheme, 0);
+    EXPECT_TRUE(out.used_memo_target);
+    EXPECT_EQ(out.value, 5000u);
+    EXPECT_EQ(out.reencrypt_blocks, 128u);
+    EXPECT_EQ(out.overhead_accesses, 2u * 128);
+    // Every counter of the block releveled to the memoized value.
+    EXPECT_EQ(rig.scheme.read(1), 5000u);
+    EXPECT_EQ(rig.budget.totalSpent(), 256u);
+}
+
+TEST(UpdatePolicy, FarJumpWithoutBudgetFallsBackToPlusOne)
+{
+    PolicyRig rig(0.0);
+    rig.scheme.relevelBlock(0, 100);
+    rig.table.insertGroup(5000);
+    const UpdateOutcome out = rig.policy.onWrite(rig.scheme, 0);
+    EXPECT_FALSE(out.used_memo_target);
+    EXPECT_EQ(out.value, 101u);
+    EXPECT_EQ(out.reencrypt_blocks, 0u);
+}
+
+TEST(UpdatePolicy, FarRelevelDisallowedFallsBackToPlusOne)
+{
+    MemoTable table;
+    TrafficBudget budget;
+    budget.setPool(1e6);
+    UpdatePolicy policy(table, budget, true,
+                        /*allow_far_relevel=*/false);
+    MorphableScheme scheme(128);
+    scheme.relevelBlock(0, 100);
+    table.insertGroup(5000);
+    const UpdateOutcome out = policy.onWrite(scheme, 0);
+    EXPECT_EQ(out.value, 101u);
+    EXPECT_EQ(budget.totalSpent(), 0u);
+}
+
+TEST(UpdatePolicy, ReadMissRelevelsBlockWithinBudget)
+{
+    PolicyRig rig(1000.0);
+    rig.scheme.relevelBlock(0, 100);
+    rig.table.insertGroup(5000);
+    const auto out = rig.policy.onReadMiss(rig.scheme, 0);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->value, 5000u);
+    EXPECT_EQ(out->reencrypt_blocks, 128u);
+    EXPECT_EQ(rig.policy.readUpdates(), 1u);
+    // All counters in the block now memoized.
+    EXPECT_EQ(rig.scheme.read(5), 5000u);
+}
+
+TEST(UpdatePolicy, ReadMissSkippedWhenBudgetDry)
+{
+    PolicyRig rig(0.0);
+    rig.table.insertGroup(5000);
+    EXPECT_FALSE(rig.policy.onReadMiss(rig.scheme, 0).has_value());
+    EXPECT_EQ(rig.policy.readUpdates(), 0u);
+}
+
+TEST(UpdatePolicy, ReadMissSkippedWhenNothingAbove)
+{
+    PolicyRig rig(1000.0);
+    rig.scheme.relevelBlock(0, 9000);
+    rig.table.insertGroup(5000);
+    EXPECT_FALSE(rig.policy.onReadMiss(rig.scheme, 0).has_value());
+}
+
+TEST(UpdatePolicy, CountersStrictlyIncreaseUnderAnyPolicyPath)
+{
+    PolicyRig rig(1e9);
+    rig.table.insertGroup(100);
+    rig.table.insertGroup(300);
+    rmcc::util::Rng rng(5);
+    std::vector<rmcc::addr::CounterValue> last(256, 0);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t idx = rng.nextBelow(256);
+        const auto before = rig.scheme.read(idx);
+        const UpdateOutcome out = rig.policy.onWrite(rig.scheme, idx);
+        EXPECT_GT(out.value, before);
+        EXPECT_GE(rig.scheme.read(idx), out.value);
+        last[idx] = out.value;
+    }
+}
+
+TEST(UpdatePolicy, SelfReinforcementGrowsCoverage)
+{
+    // Paper Fig 6: the memoized values' coverage grows monotonically as
+    // blocks are written back.
+    PolicyRig rig(1e9);
+    rig.table.insertGroup(200000);
+    rmcc::util::Rng rng(11);
+    rig.scheme.randomInit(rng, 100000);
+    auto coverage = [&]() {
+        std::uint64_t covered = 0;
+        for (std::uint64_t i = 0; i < rig.scheme.entities(); ++i)
+            covered += rig.table.inGroups(rig.scheme.read(i));
+        return covered;
+    };
+    const std::uint64_t before = coverage();
+    for (std::uint64_t i = 0; i < rig.scheme.entities(); ++i)
+        rig.policy.onWrite(rig.scheme, i);
+    EXPECT_GT(coverage(), before);
+    EXPECT_GT(coverage(), rig.scheme.entities() / 2);
+}

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the util module: RNG determinism and distributions,
+ * statistics, bit packing, and table rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace rmcc::util;
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000003ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(11);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.nextInRange(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        hit_lo |= v == 10;
+        hit_hi |= v == 13;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(17);
+    int heads = 0;
+    for (int i = 0; i < 20000; ++i)
+        heads += rng.nextBool(0.3);
+    EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect)
+{
+    Rng rng(19);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += rng.nextGeometric(5.0);
+    EXPECT_NEAR(sum / 20000.0, 5.0, 0.5);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(23);
+    Rng b = a.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    Rng rng(29);
+    ZipfSampler zipf(1000, 1.0);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(Zipf, AllRanksReachable)
+{
+    Rng rng(31);
+    ZipfSampler zipf(4, 0.5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen.insert(zipf(rng));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, EmptyIsSafe)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndQuantiles)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.bucketCount(0), 10u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+}
+
+TEST(Histogram, OutOfRangeCounted)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Stats, GeomeanOfPowers)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, GeomeanSkipsZeros)
+{
+    EXPECT_NEAR(geomean({0.0, 4.0, 4.0}), 4.0, 1e-9);
+}
+
+TEST(StatSet, IncSetGetRatio)
+{
+    StatSet s;
+    s.inc("a");
+    s.inc("a", 2.0);
+    s.set("b", 6.0);
+    EXPECT_DOUBLE_EQ(s.get("a"), 3.0);
+    EXPECT_DOUBLE_EQ(s.ratio("a", "b"), 0.5);
+    EXPECT_DOUBLE_EQ(s.ratio("a", "missing"), 0.0);
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0.0);
+}
+
+TEST(StatSet, DiffIsWindowed)
+{
+    StatSet s;
+    s.inc("x", 5);
+    StatSet snap = s;
+    s.inc("x", 7);
+    s.inc("y", 2);
+    StatSet d = s.diff(snap);
+    EXPECT_DOUBLE_EQ(d.get("x"), 7.0);
+    EXPECT_DOUBLE_EQ(d.get("y"), 2.0);
+}
+
+TEST(BitVec, RoundTripVariousWidths)
+{
+    BitVec512 bits;
+    bits.set(0, 56, 0x00ffeeddccbbaaULL);
+    bits.set(56, 8, 0xa5);
+    bits.set(64, 3, 5);
+    bits.set(509, 3, 7);
+    EXPECT_EQ(bits.get(0, 56), 0x00ffeeddccbbaaULL);
+    EXPECT_EQ(bits.get(56, 8), 0xa5u);
+    EXPECT_EQ(bits.get(64, 3), 5u);
+    EXPECT_EQ(bits.get(509, 3), 7u);
+}
+
+TEST(BitVec, CrossWordBoundary)
+{
+    BitVec512 bits;
+    bits.set(60, 20, 0xabcde);
+    EXPECT_EQ(bits.get(60, 20), 0xabcdeu);
+    // Neighbours untouched.
+    EXPECT_EQ(bits.get(0, 60), 0u);
+    EXPECT_EQ(bits.get(80, 64), 0u);
+}
+
+TEST(BitVec, OverwriteClearsOldBits)
+{
+    BitVec512 bits;
+    bits.set(10, 8, 0xff);
+    bits.set(10, 8, 0x01);
+    EXPECT_EQ(bits.get(10, 8), 0x01u);
+    EXPECT_EQ(bits.popcount(), 1u);
+}
+
+TEST(BitVec, FullWidthField)
+{
+    BitVec512 bits;
+    bits.set(64, 64, ~0ULL);
+    EXPECT_EQ(bits.get(64, 64), ~0ULL);
+    EXPECT_EQ(bits.popcount(), 64u);
+}
+
+TEST(BitWidth, Values)
+{
+    EXPECT_EQ(bitWidth(0), 0u);
+    EXPECT_EQ(bitWidth(1), 1u);
+    EXPECT_EQ(bitWidth(7), 3u);
+    EXPECT_EQ(bitWidth(8), 4u);
+}
+
+TEST(Table, TextAndCsvRendering)
+{
+    Table t("demo", {"name", "v1", "v2"});
+    t.addRow("row", {1.25, 2.5}, 2);
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("1.25"), std::string::npos);
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("name,v1,v2"), std::string::npos);
+    EXPECT_NE(csv.find("row,1.25,2.50"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtPercent(0.923, 1), "92.3%");
+}

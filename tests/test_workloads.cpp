@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Workload-model tests: graph construction, kernel trace properties
+ * (footprints, write ratios, irregularity ordering), registry coverage
+ * of the paper's 11-benchmark suite, and determinism.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workloads/registry.hpp"
+
+using namespace rmcc;
+using namespace rmcc::wl;
+
+TEST(Graph, PowerLawShape)
+{
+    const Graph g = Graph::powerLaw(10000, 80000, 0.8, 1);
+    EXPECT_EQ(g.num_vertices, 10000u);
+    EXPECT_EQ(g.numEdges(), 80000u);
+    EXPECT_EQ(g.offsets.front(), 0u);
+    EXPECT_EQ(g.offsets.back(), 80000u);
+    // Degree skew: the max degree far exceeds the mean.
+    std::uint64_t max_deg = 0;
+    for (std::uint64_t v = 0; v < g.num_vertices; ++v)
+        max_deg = std::max(max_deg, g.degree(v));
+    EXPECT_GT(max_deg, 8u * (80000 / 10000));
+}
+
+TEST(Graph, DegreeCapBoundsHubs)
+{
+    const Graph g = Graph::powerLaw(10000, 80000, 0.8, 1);
+    const std::uint64_t cap =
+        std::max<std::uint64_t>(64, 64 * 80000 / 10000);
+    for (std::uint64_t v = 0; v < g.num_vertices; ++v)
+        EXPECT_LE(g.degree(v), cap + 1);
+}
+
+TEST(Graph, HubsAreScatteredAcrossIdSpace)
+{
+    const Graph g = Graph::powerLaw(16384, 131072, 0.8, 2);
+    // Collect the 32 highest-degree vertices; they must not cluster in a
+    // contiguous id prefix (realistic graphs have scattered hub ids).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> deg;
+    for (std::uint64_t v = 0; v < g.num_vertices; ++v)
+        deg.emplace_back(g.degree(v), v);
+    std::sort(deg.rbegin(), deg.rend());
+    std::uint64_t in_prefix = 0;
+    for (int i = 0; i < 32; ++i)
+        in_prefix += deg[static_cast<std::size_t>(i)].second < 1024;
+    EXPECT_LT(in_prefix, 8u);
+}
+
+TEST(Graph, AdjacencySortedPerVertex)
+{
+    const Graph g = Graph::powerLaw(4096, 32768, 0.8, 3);
+    for (std::uint64_t v = 0; v < g.num_vertices; ++v)
+        EXPECT_TRUE(std::is_sorted(g.edges.begin() + g.offsets[v],
+                                   g.edges.begin() + g.offsets[v + 1]));
+}
+
+TEST(Graph, DeterministicForSeed)
+{
+    const Graph a = Graph::powerLaw(1000, 8000, 0.8, 9);
+    const Graph b = Graph::powerLaw(1000, 8000, 0.8, 9);
+    EXPECT_EQ(a.edges, b.edges);
+    EXPECT_EQ(a.offsets, b.offsets);
+}
+
+TEST(Registry, PaperSuiteComplete)
+{
+    const auto &suite = workloadSuite();
+    ASSERT_EQ(suite.size(), 11u);
+    const char *expected[] = {
+        "pageRank",      "graphColoring", "connectedComp", "degreeCentr",
+        "DFS",           "BFS",           "triangleCount", "shortestPath",
+        "canneal",       "omnetpp",       "mcf"};
+    for (std::size_t i = 0; i < 11; ++i)
+        EXPECT_EQ(suite[i].name, expected[i]);
+    EXPECT_NE(findWorkload("canneal"), nullptr);
+    EXPECT_EQ(findWorkload("nosuch"), nullptr);
+}
+
+/** Each workload generates full traces with sane shapes. */
+class WorkloadTraces : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadTraces, GeneratesFullDeterministicTrace)
+{
+    const Workload *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    const auto t1 = generateTrace(*w, 50000, 42);
+    EXPECT_EQ(t1.size(), 50000u);
+    EXPECT_GT(t1.totalInstructions(), t1.size());
+    // Some workloads are read-only in steady state; all must read.
+    EXPECT_LT(t1.writes(), t1.size());
+    const auto t2 = generateTrace(*w, 50000, 42);
+    for (std::size_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(t1.records()[i].vaddr, t2.records()[i].vaddr);
+        EXPECT_EQ(t1.records()[i].is_write, t2.records()[i].is_write);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadTraces,
+                         ::testing::Values("pageRank", "graphColoring",
+                                           "connectedComp", "degreeCentr",
+                                           "DFS", "BFS", "triangleCount",
+                                           "shortestPath", "canneal",
+                                           "omnetpp", "mcf"));
+
+TEST(WorkloadCharacter, CannealIsMoreIrregularThanMcf)
+{
+    // Distinct-blocks-per-access separates the suite's extremes: canneal
+    // scatters, mcf streams with reuse across passes.
+    const auto canneal = generateTrace(*findWorkload("canneal"), 60000, 1);
+    const auto mcf = generateTrace(*findWorkload("mcf"), 60000, 1);
+    const double c = static_cast<double>(canneal.distinctBlocks()) /
+                     static_cast<double>(canneal.size());
+    const double m = static_cast<double>(mcf.distinctBlocks()) /
+                     static_cast<double>(mcf.size());
+    EXPECT_GT(c, m);
+}
+
+TEST(WorkloadCharacter, WriteIntensityVaries)
+{
+    const auto pr = generateTrace(*findWorkload("pageRank"), 60000, 1);
+    const auto tc = generateTrace(*findWorkload("triangleCount"), 60000, 1);
+    // PageRank pushes (writes); triangle counting only reads adjacency.
+    EXPECT_GT(pr.writes() * 10, pr.size());
+    EXPECT_LT(tc.writes() * 10, tc.size());
+}
