@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_counter_miss.dir/bench_fig03_counter_miss.cpp.o"
+  "CMakeFiles/bench_fig03_counter_miss.dir/bench_fig03_counter_miss.cpp.o.d"
+  "bench_fig03_counter_miss"
+  "bench_fig03_counter_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_counter_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

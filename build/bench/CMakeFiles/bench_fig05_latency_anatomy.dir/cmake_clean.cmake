@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_latency_anatomy.dir/bench_fig05_latency_anatomy.cpp.o"
+  "CMakeFiles/bench_fig05_latency_anatomy.dir/bench_fig05_latency_anatomy.cpp.o.d"
+  "bench_fig05_latency_anatomy"
+  "bench_fig05_latency_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_latency_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig18_counter_cache_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_memo.dir/bench_micro_memo.cpp.o"
+  "CMakeFiles/bench_micro_memo.dir/bench_micro_memo.cpp.o.d"
+  "bench_micro_memo"
+  "bench_micro_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secIVD_nist_randomness.dir/bench_secIVD_nist_randomness.cpp.o"
+  "CMakeFiles/bench_secIVD_nist_randomness.dir/bench_secIVD_nist_randomness.cpp.o.d"
+  "bench_secIVD_nist_randomness"
+  "bench_secIVD_nist_randomness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secIVD_nist_randomness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secIVE_area.dir/bench_secIVE_area.cpp.o"
+  "CMakeFiles/bench_secIVE_area.dir/bench_secIVE_area.cpp.o.d"
+  "bench_secIVE_area"
+  "bench_secIVE_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secIVE_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_surface_analysis.dir/attack_surface_analysis.cpp.o"
+  "CMakeFiles/attack_surface_analysis.dir/attack_surface_analysis.cpp.o.d"
+  "attack_surface_analysis"
+  "attack_surface_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_surface_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

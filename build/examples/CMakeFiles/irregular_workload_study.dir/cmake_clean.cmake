@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_workload_study.dir/irregular_workload_study.cpp.o"
+  "CMakeFiles/irregular_workload_study.dir/irregular_workload_study.cpp.o.d"
+  "irregular_workload_study"
+  "irregular_workload_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_workload_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

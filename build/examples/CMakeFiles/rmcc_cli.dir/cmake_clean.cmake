@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_cli.dir/rmcc_sim.cpp.o"
+  "CMakeFiles/rmcc_cli.dir/rmcc_sim.cpp.o.d"
+  "rmcc_sim"
+  "rmcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

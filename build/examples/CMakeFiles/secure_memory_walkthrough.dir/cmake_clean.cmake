@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_memory_walkthrough.dir/secure_memory_walkthrough.cpp.o"
+  "CMakeFiles/secure_memory_walkthrough.dir/secure_memory_walkthrough.cpp.o.d"
+  "secure_memory_walkthrough"
+  "secure_memory_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_memory_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_address.dir/address/layout.cpp.o"
+  "CMakeFiles/rmcc_address.dir/address/layout.cpp.o.d"
+  "CMakeFiles/rmcc_address.dir/address/page_mapper.cpp.o"
+  "CMakeFiles/rmcc_address.dir/address/page_mapper.cpp.o.d"
+  "librmcc_address.a"
+  "librmcc_address.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_address.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rmcc_address.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_cache.dir/cache/hierarchy.cpp.o"
+  "CMakeFiles/rmcc_cache.dir/cache/hierarchy.cpp.o.d"
+  "CMakeFiles/rmcc_cache.dir/cache/set_assoc.cpp.o"
+  "CMakeFiles/rmcc_cache.dir/cache/set_assoc.cpp.o.d"
+  "CMakeFiles/rmcc_cache.dir/cache/tlb.cpp.o"
+  "CMakeFiles/rmcc_cache.dir/cache/tlb.cpp.o.d"
+  "librmcc_cache.a"
+  "librmcc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area.cpp" "src/CMakeFiles/rmcc_core.dir/core/area.cpp.o" "gcc" "src/CMakeFiles/rmcc_core.dir/core/area.cpp.o.d"
+  "/root/repo/src/core/budget.cpp" "src/CMakeFiles/rmcc_core.dir/core/budget.cpp.o" "gcc" "src/CMakeFiles/rmcc_core.dir/core/budget.cpp.o.d"
+  "/root/repo/src/core/candidate_monitor.cpp" "src/CMakeFiles/rmcc_core.dir/core/candidate_monitor.cpp.o" "gcc" "src/CMakeFiles/rmcc_core.dir/core/candidate_monitor.cpp.o.d"
+  "/root/repo/src/core/memo_table.cpp" "src/CMakeFiles/rmcc_core.dir/core/memo_table.cpp.o" "gcc" "src/CMakeFiles/rmcc_core.dir/core/memo_table.cpp.o.d"
+  "/root/repo/src/core/rmcc_engine.cpp" "src/CMakeFiles/rmcc_core.dir/core/rmcc_engine.cpp.o" "gcc" "src/CMakeFiles/rmcc_core.dir/core/rmcc_engine.cpp.o.d"
+  "/root/repo/src/core/update_policy.cpp" "src/CMakeFiles/rmcc_core.dir/core/update_policy.cpp.o" "gcc" "src/CMakeFiles/rmcc_core.dir/core/update_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmcc_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmcc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmcc_address.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_core.dir/core/area.cpp.o"
+  "CMakeFiles/rmcc_core.dir/core/area.cpp.o.d"
+  "CMakeFiles/rmcc_core.dir/core/budget.cpp.o"
+  "CMakeFiles/rmcc_core.dir/core/budget.cpp.o.d"
+  "CMakeFiles/rmcc_core.dir/core/candidate_monitor.cpp.o"
+  "CMakeFiles/rmcc_core.dir/core/candidate_monitor.cpp.o.d"
+  "CMakeFiles/rmcc_core.dir/core/memo_table.cpp.o"
+  "CMakeFiles/rmcc_core.dir/core/memo_table.cpp.o.d"
+  "CMakeFiles/rmcc_core.dir/core/rmcc_engine.cpp.o"
+  "CMakeFiles/rmcc_core.dir/core/rmcc_engine.cpp.o.d"
+  "CMakeFiles/rmcc_core.dir/core/update_policy.cpp.o"
+  "CMakeFiles/rmcc_core.dir/core/update_policy.cpp.o.d"
+  "librmcc_core.a"
+  "librmcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/counters/monolithic.cpp" "src/CMakeFiles/rmcc_counters.dir/counters/monolithic.cpp.o" "gcc" "src/CMakeFiles/rmcc_counters.dir/counters/monolithic.cpp.o.d"
+  "/root/repo/src/counters/morphable.cpp" "src/CMakeFiles/rmcc_counters.dir/counters/morphable.cpp.o" "gcc" "src/CMakeFiles/rmcc_counters.dir/counters/morphable.cpp.o.d"
+  "/root/repo/src/counters/sc64.cpp" "src/CMakeFiles/rmcc_counters.dir/counters/sc64.cpp.o" "gcc" "src/CMakeFiles/rmcc_counters.dir/counters/sc64.cpp.o.d"
+  "/root/repo/src/counters/store.cpp" "src/CMakeFiles/rmcc_counters.dir/counters/store.cpp.o" "gcc" "src/CMakeFiles/rmcc_counters.dir/counters/store.cpp.o.d"
+  "/root/repo/src/counters/tree.cpp" "src/CMakeFiles/rmcc_counters.dir/counters/tree.cpp.o" "gcc" "src/CMakeFiles/rmcc_counters.dir/counters/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmcc_address.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

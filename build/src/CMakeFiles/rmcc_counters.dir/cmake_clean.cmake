@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_counters.dir/counters/monolithic.cpp.o"
+  "CMakeFiles/rmcc_counters.dir/counters/monolithic.cpp.o.d"
+  "CMakeFiles/rmcc_counters.dir/counters/morphable.cpp.o"
+  "CMakeFiles/rmcc_counters.dir/counters/morphable.cpp.o.d"
+  "CMakeFiles/rmcc_counters.dir/counters/sc64.cpp.o"
+  "CMakeFiles/rmcc_counters.dir/counters/sc64.cpp.o.d"
+  "CMakeFiles/rmcc_counters.dir/counters/store.cpp.o"
+  "CMakeFiles/rmcc_counters.dir/counters/store.cpp.o.d"
+  "CMakeFiles/rmcc_counters.dir/counters/tree.cpp.o"
+  "CMakeFiles/rmcc_counters.dir/counters/tree.cpp.o.d"
+  "librmcc_counters.a"
+  "librmcc_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/rmcc_crypto.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/rmcc_crypto.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/clmul.cpp" "src/CMakeFiles/rmcc_crypto.dir/crypto/clmul.cpp.o" "gcc" "src/CMakeFiles/rmcc_crypto.dir/crypto/clmul.cpp.o.d"
+  "/root/repo/src/crypto/mac.cpp" "src/CMakeFiles/rmcc_crypto.dir/crypto/mac.cpp.o" "gcc" "src/CMakeFiles/rmcc_crypto.dir/crypto/mac.cpp.o.d"
+  "/root/repo/src/crypto/nist.cpp" "src/CMakeFiles/rmcc_crypto.dir/crypto/nist.cpp.o" "gcc" "src/CMakeFiles/rmcc_crypto.dir/crypto/nist.cpp.o.d"
+  "/root/repo/src/crypto/otp.cpp" "src/CMakeFiles/rmcc_crypto.dir/crypto/otp.cpp.o" "gcc" "src/CMakeFiles/rmcc_crypto.dir/crypto/otp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_crypto.dir/crypto/aes.cpp.o"
+  "CMakeFiles/rmcc_crypto.dir/crypto/aes.cpp.o.d"
+  "CMakeFiles/rmcc_crypto.dir/crypto/clmul.cpp.o"
+  "CMakeFiles/rmcc_crypto.dir/crypto/clmul.cpp.o.d"
+  "CMakeFiles/rmcc_crypto.dir/crypto/mac.cpp.o"
+  "CMakeFiles/rmcc_crypto.dir/crypto/mac.cpp.o.d"
+  "CMakeFiles/rmcc_crypto.dir/crypto/nist.cpp.o"
+  "CMakeFiles/rmcc_crypto.dir/crypto/nist.cpp.o.d"
+  "CMakeFiles/rmcc_crypto.dir/crypto/otp.cpp.o"
+  "CMakeFiles/rmcc_crypto.dir/crypto/otp.cpp.o.d"
+  "librmcc_crypto.a"
+  "librmcc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cpp" "src/CMakeFiles/rmcc_dram.dir/dram/bank.cpp.o" "gcc" "src/CMakeFiles/rmcc_dram.dir/dram/bank.cpp.o.d"
+  "/root/repo/src/dram/channel.cpp" "src/CMakeFiles/rmcc_dram.dir/dram/channel.cpp.o" "gcc" "src/CMakeFiles/rmcc_dram.dir/dram/channel.cpp.o.d"
+  "/root/repo/src/dram/ddr4.cpp" "src/CMakeFiles/rmcc_dram.dir/dram/ddr4.cpp.o" "gcc" "src/CMakeFiles/rmcc_dram.dir/dram/ddr4.cpp.o.d"
+  "/root/repo/src/dram/mapping.cpp" "src/CMakeFiles/rmcc_dram.dir/dram/mapping.cpp.o" "gcc" "src/CMakeFiles/rmcc_dram.dir/dram/mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmcc_address.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

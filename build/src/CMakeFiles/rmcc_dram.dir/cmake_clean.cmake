@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_dram.dir/dram/bank.cpp.o"
+  "CMakeFiles/rmcc_dram.dir/dram/bank.cpp.o.d"
+  "CMakeFiles/rmcc_dram.dir/dram/channel.cpp.o"
+  "CMakeFiles/rmcc_dram.dir/dram/channel.cpp.o.d"
+  "CMakeFiles/rmcc_dram.dir/dram/ddr4.cpp.o"
+  "CMakeFiles/rmcc_dram.dir/dram/ddr4.cpp.o.d"
+  "CMakeFiles/rmcc_dram.dir/dram/mapping.cpp.o"
+  "CMakeFiles/rmcc_dram.dir/dram/mapping.cpp.o.d"
+  "librmcc_dram.a"
+  "librmcc_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_mc.dir/mc/latency.cpp.o"
+  "CMakeFiles/rmcc_mc.dir/mc/latency.cpp.o.d"
+  "CMakeFiles/rmcc_mc.dir/mc/overflow_engine.cpp.o"
+  "CMakeFiles/rmcc_mc.dir/mc/overflow_engine.cpp.o.d"
+  "CMakeFiles/rmcc_mc.dir/mc/secure_mc.cpp.o"
+  "CMakeFiles/rmcc_mc.dir/mc/secure_mc.cpp.o.d"
+  "librmcc_mc.a"
+  "librmcc_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_sim.dir/sim/cpu_model.cpp.o"
+  "CMakeFiles/rmcc_sim.dir/sim/cpu_model.cpp.o.d"
+  "CMakeFiles/rmcc_sim.dir/sim/experiments.cpp.o"
+  "CMakeFiles/rmcc_sim.dir/sim/experiments.cpp.o.d"
+  "CMakeFiles/rmcc_sim.dir/sim/functional_sim.cpp.o"
+  "CMakeFiles/rmcc_sim.dir/sim/functional_sim.cpp.o.d"
+  "CMakeFiles/rmcc_sim.dir/sim/report.cpp.o"
+  "CMakeFiles/rmcc_sim.dir/sim/report.cpp.o.d"
+  "CMakeFiles/rmcc_sim.dir/sim/system_config.cpp.o"
+  "CMakeFiles/rmcc_sim.dir/sim/system_config.cpp.o.d"
+  "CMakeFiles/rmcc_sim.dir/sim/timing_sim.cpp.o"
+  "CMakeFiles/rmcc_sim.dir/sim/timing_sim.cpp.o.d"
+  "librmcc_sim.a"
+  "librmcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

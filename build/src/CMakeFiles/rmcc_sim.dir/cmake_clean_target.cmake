@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librmcc_sim.a"
+)

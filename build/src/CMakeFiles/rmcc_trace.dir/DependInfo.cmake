@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace_buffer.cpp" "src/CMakeFiles/rmcc_trace.dir/trace/trace_buffer.cpp.o" "gcc" "src/CMakeFiles/rmcc_trace.dir/trace/trace_buffer.cpp.o.d"
+  "/root/repo/src/trace/traced_memory.cpp" "src/CMakeFiles/rmcc_trace.dir/trace/traced_memory.cpp.o" "gcc" "src/CMakeFiles/rmcc_trace.dir/trace/traced_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmcc_address.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_trace.dir/trace/trace_buffer.cpp.o"
+  "CMakeFiles/rmcc_trace.dir/trace/trace_buffer.cpp.o.d"
+  "CMakeFiles/rmcc_trace.dir/trace/traced_memory.cpp.o"
+  "CMakeFiles/rmcc_trace.dir/trace/traced_memory.cpp.o.d"
+  "librmcc_trace.a"
+  "librmcc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_util.dir/util/bitvec.cpp.o"
+  "CMakeFiles/rmcc_util.dir/util/bitvec.cpp.o.d"
+  "CMakeFiles/rmcc_util.dir/util/rng.cpp.o"
+  "CMakeFiles/rmcc_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/rmcc_util.dir/util/stats.cpp.o"
+  "CMakeFiles/rmcc_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/rmcc_util.dir/util/table.cpp.o"
+  "CMakeFiles/rmcc_util.dir/util/table.cpp.o.d"
+  "librmcc_util.a"
+  "librmcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/canneal.cpp" "src/CMakeFiles/rmcc_workloads.dir/workloads/canneal.cpp.o" "gcc" "src/CMakeFiles/rmcc_workloads.dir/workloads/canneal.cpp.o.d"
+  "/root/repo/src/workloads/graph.cpp" "src/CMakeFiles/rmcc_workloads.dir/workloads/graph.cpp.o" "gcc" "src/CMakeFiles/rmcc_workloads.dir/workloads/graph.cpp.o.d"
+  "/root/repo/src/workloads/graphbig.cpp" "src/CMakeFiles/rmcc_workloads.dir/workloads/graphbig.cpp.o" "gcc" "src/CMakeFiles/rmcc_workloads.dir/workloads/graphbig.cpp.o.d"
+  "/root/repo/src/workloads/mcf.cpp" "src/CMakeFiles/rmcc_workloads.dir/workloads/mcf.cpp.o" "gcc" "src/CMakeFiles/rmcc_workloads.dir/workloads/mcf.cpp.o.d"
+  "/root/repo/src/workloads/omnetpp.cpp" "src/CMakeFiles/rmcc_workloads.dir/workloads/omnetpp.cpp.o" "gcc" "src/CMakeFiles/rmcc_workloads.dir/workloads/omnetpp.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/rmcc_workloads.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/rmcc_workloads.dir/workloads/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmcc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmcc_address.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rmcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmcc_workloads.dir/workloads/canneal.cpp.o"
+  "CMakeFiles/rmcc_workloads.dir/workloads/canneal.cpp.o.d"
+  "CMakeFiles/rmcc_workloads.dir/workloads/graph.cpp.o"
+  "CMakeFiles/rmcc_workloads.dir/workloads/graph.cpp.o.d"
+  "CMakeFiles/rmcc_workloads.dir/workloads/graphbig.cpp.o"
+  "CMakeFiles/rmcc_workloads.dir/workloads/graphbig.cpp.o.d"
+  "CMakeFiles/rmcc_workloads.dir/workloads/mcf.cpp.o"
+  "CMakeFiles/rmcc_workloads.dir/workloads/mcf.cpp.o.d"
+  "CMakeFiles/rmcc_workloads.dir/workloads/omnetpp.cpp.o"
+  "CMakeFiles/rmcc_workloads.dir/workloads/omnetpp.cpp.o.d"
+  "CMakeFiles/rmcc_workloads.dir/workloads/registry.cpp.o"
+  "CMakeFiles/rmcc_workloads.dir/workloads/registry.cpp.o.d"
+  "librmcc_workloads.a"
+  "librmcc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmcc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_candidate_monitor.dir/test_candidate_monitor.cpp.o"
+  "CMakeFiles/test_candidate_monitor.dir/test_candidate_monitor.cpp.o.d"
+  "test_candidate_monitor"
+  "test_candidate_monitor.pdb"
+  "test_candidate_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_candidate_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memo_table.dir/test_memo_table.cpp.o"
+  "CMakeFiles/test_memo_table.dir/test_memo_table.cpp.o.d"
+  "test_memo_table"
+  "test_memo_table.pdb"
+  "test_memo_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memo_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nist.dir/test_nist.cpp.o"
+  "CMakeFiles/test_nist.dir/test_nist.cpp.o.d"
+  "test_nist"
+  "test_nist.pdb"
+  "test_nist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update_policy.dir/test_update_policy.cpp.o"
+  "CMakeFiles/test_update_policy.dir/test_update_policy.cpp.o.d"
+  "test_update_policy"
+  "test_update_policy.pdb"
+  "test_update_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

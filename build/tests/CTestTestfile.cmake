@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_nist[1]_include.cmake")
+include("/root/repo/build/tests/test_address[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_counters[1]_include.cmake")
+include("/root/repo/build/tests/test_memo_table[1]_include.cmake")
+include("/root/repo/build/tests/test_candidate_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_budget[1]_include.cmake")
+include("/root/repo/build/tests/test_update_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_rmcc_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_model[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_experiments[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_integration[1]_include.cmake")
