@@ -7,7 +7,9 @@
 #ifndef RMCC_BENCH_COMMON_HPP
 #define RMCC_BENCH_COMMON_HPP
 
+#include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,29 @@ namespace rmcc::bench
 
 /** Metric extracted per (workload, config-index) cell. */
 using Metric = std::function<double(const sim::SuiteRow &, std::size_t)>;
+
+/**
+ * Mutex-guarded progress reporter: workload-done lines stay whole even
+ * when they arrive from concurrent suite-runner workers.
+ */
+class ProgressReporter
+{
+  public:
+    explicit ProgressReporter(std::string title) : title_(std::move(title))
+    {
+    }
+
+    /** Report one finished workload (thread-safe). */
+    void done(const std::string &workload)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::fputs((title_ + ": " + workload + " done\n").c_str(), stderr);
+    }
+
+  private:
+    std::string title_;
+    std::mutex mutex_;
+};
 
 /**
  * Run every configuration over the suite and emit one table: rows are
@@ -43,10 +68,17 @@ runAndEmit(const std::string &title, const std::string &csv,
         headers.push_back(nc.label);
     util::Table table(title, headers);
 
+    // The suite runner fans (workload x config) cells across RMCC_JOBS
+    // threads; progress lines stream from its workers as workloads
+    // finish, while rows come back in deterministic suite order.
+    ProgressReporter reporter(title);
+    const std::vector<sim::SuiteRow> rows = sim::runSuite(
+        configs,
+        [&reporter](const std::string &workload) { reporter.done(workload); });
+
     std::vector<std::vector<double>> columns(configs.size());
-    for (const wl::Workload &w : wl::workloadSuite()) {
-        const sim::SuiteRow row = sim::runWorkload(w, configs);
-        std::vector<std::string> cells = {w.name};
+    for (const sim::SuiteRow &row : rows) {
+        std::vector<std::string> cells = {row.workload};
         for (std::size_t c = 0; c < configs.size(); ++c) {
             const double v = metric(row, c);
             columns[c].push_back(v);
@@ -54,8 +86,6 @@ runAndEmit(const std::string &title, const std::string &csv,
                                     : util::fmtDouble(v));
         }
         table.addRow(cells);
-        // Stream progress: long benches print rows as they finish.
-        std::fputs((title + ": " + w.name + " done\n").c_str(), stderr);
     }
     std::vector<std::string> mean_cells = {use_geomean ? "geomean"
                                                        : "mean"};

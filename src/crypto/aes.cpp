@@ -72,6 +72,46 @@ rotWord(std::uint32_t w)
     return (w << 8) | (w >> 24);
 }
 
+/**
+ * Round tables for the T-table fast path.  Te0[x] packs one column's
+ * worth of SubBytes+MixColumns for state byte x:
+ *
+ *   Te0[x] = (2*S[x], S[x], S[x], 3*S[x])   (MSB first, GF(2^8) scale)
+ *
+ * and Te1..Te3 are byte rotations of Te0 for the other three rows; the
+ * row offsets in the lookup indices implement ShiftRows.
+ */
+struct EncTables
+{
+    std::uint32_t te0[256];
+    std::uint32_t te1[256];
+    std::uint32_t te2[256];
+    std::uint32_t te3[256];
+};
+
+const EncTables &
+encTables()
+{
+    static const EncTables tables = [] {
+        EncTables t{};
+        for (int i = 0; i < 256; ++i) {
+            const std::uint8_t s = kSbox[i];
+            const std::uint8_t s2 = xtime(s);
+            const std::uint8_t s3 = static_cast<std::uint8_t>(s ^ s2);
+            const std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                                    (static_cast<std::uint32_t>(s) << 16) |
+                                    (static_cast<std::uint32_t>(s) << 8) |
+                                    static_cast<std::uint32_t>(s3);
+            t.te0[i] = w;
+            t.te1[i] = (w >> 8) | (w << 24);
+            t.te2[i] = (w >> 16) | (w << 16);
+            t.te3[i] = (w >> 24) | (w << 8);
+        }
+        return t;
+    }();
+    return tables;
+}
+
 } // namespace
 
 Block128
@@ -180,6 +220,81 @@ Aes::expandKey(const std::uint8_t *key, std::size_t key_words)
 
 Block128
 Aes::encrypt(const Block128 &plaintext) const
+{
+    assert(rounds_ == 10 || rounds_ == 14);
+    const EncTables &T = encTables();
+
+    // One 32-bit word per state column, row 0 in the MSB — the same
+    // packing the round keys use.
+    auto load = [&](int c) {
+        return (static_cast<std::uint32_t>(plaintext[4 * c + 0]) << 24) |
+               (static_cast<std::uint32_t>(plaintext[4 * c + 1]) << 16) |
+               (static_cast<std::uint32_t>(plaintext[4 * c + 2]) << 8) |
+               static_cast<std::uint32_t>(plaintext[4 * c + 3]);
+    };
+    std::uint32_t s0 = load(0) ^ round_keys_[0];
+    std::uint32_t s1 = load(1) ^ round_keys_[1];
+    std::uint32_t s2 = load(2) ^ round_keys_[2];
+    std::uint32_t s3 = load(3) ^ round_keys_[3];
+
+    for (int round = 1; round < rounds_; ++round) {
+        const std::uint32_t *rk =
+            &round_keys_[static_cast<std::size_t>(4 * round)];
+        const std::uint32_t t0 = T.te0[s0 >> 24] ^
+                                 T.te1[(s1 >> 16) & 0xff] ^
+                                 T.te2[(s2 >> 8) & 0xff] ^
+                                 T.te3[s3 & 0xff] ^ rk[0];
+        const std::uint32_t t1 = T.te0[s1 >> 24] ^
+                                 T.te1[(s2 >> 16) & 0xff] ^
+                                 T.te2[(s3 >> 8) & 0xff] ^
+                                 T.te3[s0 & 0xff] ^ rk[1];
+        const std::uint32_t t2 = T.te0[s2 >> 24] ^
+                                 T.te1[(s3 >> 16) & 0xff] ^
+                                 T.te2[(s0 >> 8) & 0xff] ^
+                                 T.te3[s1 & 0xff] ^ rk[2];
+        const std::uint32_t t3 = T.te0[s3 >> 24] ^
+                                 T.te1[(s0 >> 16) & 0xff] ^
+                                 T.te2[(s1 >> 8) & 0xff] ^
+                                 T.te3[s2 & 0xff] ^ rk[3];
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    // Final round: SubBytes + ShiftRows only (no MixColumns).
+    const std::uint32_t *rk =
+        &round_keys_[static_cast<std::size_t>(4 * rounds_)];
+    auto last = [&](std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                    std::uint32_t d, std::uint32_t k) {
+        return ((static_cast<std::uint32_t>(kSbox[a >> 24]) << 24) |
+                (static_cast<std::uint32_t>(kSbox[(b >> 16) & 0xff]) << 16) |
+                (static_cast<std::uint32_t>(kSbox[(c >> 8) & 0xff]) << 8) |
+                static_cast<std::uint32_t>(kSbox[d & 0xff])) ^
+               k;
+    };
+    const std::uint32_t o0 = last(s0, s1, s2, s3, rk[0]);
+    const std::uint32_t o1 = last(s1, s2, s3, s0, rk[1]);
+    const std::uint32_t o2 = last(s2, s3, s0, s1, rk[2]);
+    const std::uint32_t o3 = last(s3, s0, s1, s2, rk[3]);
+
+    Block128 out;
+    const std::uint32_t words[4] = {o0, o1, o2, o3};
+    for (int c = 0; c < 4; ++c) {
+        out[static_cast<std::size_t>(4 * c + 0)] =
+            static_cast<std::uint8_t>(words[c] >> 24);
+        out[static_cast<std::size_t>(4 * c + 1)] =
+            static_cast<std::uint8_t>(words[c] >> 16);
+        out[static_cast<std::size_t>(4 * c + 2)] =
+            static_cast<std::uint8_t>(words[c] >> 8);
+        out[static_cast<std::size_t>(4 * c + 3)] =
+            static_cast<std::uint8_t>(words[c]);
+    }
+    return out;
+}
+
+Block128
+Aes::encryptReference(const Block128 &plaintext) const
 {
     assert(rounds_ == 10 || rounds_ == 14);
     std::uint8_t s[16];

@@ -55,8 +55,22 @@ class Aes
     /** Convenience: derive a key schedule from a 64-bit seed (non-NIST). */
     static Aes fromSeed(std::uint64_t seed, KeySize size = KeySize::k128);
 
-    /** Encrypt one 128-bit block. */
+    /**
+     * Encrypt one 128-bit block (fast path).
+     *
+     * Rounds run in 32-bit T-table form: SubBytes, ShiftRows, and
+     * MixColumns collapse into four 256-entry word tables, generated
+     * once at startup from the FIPS-197 S-box.  Produces bit-identical
+     * output to encryptReference().
+     */
     Block128 encrypt(const Block128 &plaintext) const;
+
+    /**
+     * Encrypt one block with the byte-wise FIPS-197 reference rounds
+     * (the original implementation).  Kept as the oracle the T-table
+     * path and its startup-generated tables are verified against.
+     */
+    Block128 encryptReference(const Block128 &plaintext) const;
 
     /** Number of rounds (10 for AES-128, 14 for AES-256). */
     int rounds() const { return rounds_; }

@@ -4,7 +4,7 @@ namespace rmcc::crypto
 {
 
 std::pair<std::uint64_t, std::uint64_t>
-clmul64(std::uint64_t a, std::uint64_t b)
+clmul64Reference(std::uint64_t a, std::uint64_t b)
 {
     // Shift-and-xor schoolbook multiply in GF(2)[x]; branch-light form that
     // conditions on each bit of a.
@@ -15,6 +15,40 @@ clmul64(std::uint64_t a, std::uint64_t b)
             if (i)
                 hi ^= b >> (64 - i);
         }
+    }
+    return {lo, hi};
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+clmul64(std::uint64_t a, std::uint64_t b)
+{
+    // 4-bit windowed multiply.  T[u] = b * u for every degree-<4
+    // polynomial u; each product is at most 67 bits, so it carries up to
+    // three bits into the high limb.
+    std::uint64_t t_lo[16], t_hi[16];
+    t_lo[0] = 0;
+    t_hi[0] = 0;
+    t_lo[1] = b;
+    t_hi[1] = 0;
+    for (unsigned u = 2; u < 16; ++u) {
+        if (u & 1) {
+            t_lo[u] = t_lo[u - 1] ^ b;
+            t_hi[u] = t_hi[u - 1];
+        } else {
+            t_lo[u] = t_lo[u >> 1] << 1;
+            t_hi[u] = (t_hi[u >> 1] << 1) | (t_lo[u >> 1] >> 63);
+        }
+    }
+
+    // Consume a in nibbles, most significant first, shifting the
+    // accumulator left by the window width between steps.
+    std::uint64_t lo = 0, hi = 0;
+    for (int shift = 60; shift >= 0; shift -= 4) {
+        hi = (hi << 4) | (lo >> 60);
+        lo <<= 4;
+        const unsigned u = static_cast<unsigned>(a >> shift) & 0xf;
+        lo ^= t_lo[u];
+        hi ^= t_hi[u];
     }
     return {lo, hi};
 }

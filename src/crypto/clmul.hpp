@@ -27,9 +27,22 @@ struct U256
     bool operator==(const U256 &other) const = default;
 };
 
-/** 64x64 -> 128 carry-less multiply; returns {lo, hi}. */
+/**
+ * 64x64 -> 128 carry-less multiply; returns {lo, hi}.
+ *
+ * Fast path: 4-bit windowed multiply (a 16-entry table of the multiples
+ * b*u for u in GF(2)[x] degree < 4, consumed in 16 nibble steps) instead
+ * of the 64-iteration bit loop.
+ */
 std::pair<std::uint64_t, std::uint64_t> clmul64(std::uint64_t a,
                                                 std::uint64_t b);
+
+/**
+ * Bit-at-a-time shift-and-xor reference multiply (the original
+ * implementation); the oracle the windowed path is verified against.
+ */
+std::pair<std::uint64_t, std::uint64_t> clmul64Reference(std::uint64_t a,
+                                                         std::uint64_t b);
 
 /**
  * 128x128 -> 256 carry-less multiply of two blocks.

@@ -28,6 +28,15 @@ baselineInput(std::uint64_t mu, std::uint64_t address, unsigned word,
 
 } // namespace
 
+std::array<Block128, 4>
+OtpEngine::encryptionOtps(std::uint64_t address, std::uint64_t counter) const
+{
+    std::array<Block128, 4> pads;
+    for (unsigned w = 0; w < kWordsPerBlock; ++w)
+        pads[w] = encryptionOtp(address, w, counter);
+    return pads;
+}
+
 BaselineOtpEngine::BaselineOtpEngine(const Aes &enc_key, const Aes &mac_key)
     : enc_key_(enc_key), mac_key_(mac_key)
 {
@@ -100,13 +109,26 @@ RmccOtpEngine::macOtp(std::uint64_t address, std::uint64_t counter) const
     return combine(counterOnlyMac(counter), addressOnlyMac(address));
 }
 
+std::array<Block128, 4>
+RmccOtpEngine::encryptionOtps(std::uint64_t address,
+                              std::uint64_t counter) const
+{
+    const Block128 ctr_only = counterOnlyEnc(counter);
+    std::array<Block128, 4> pads;
+    for (unsigned w = 0; w < kWordsPerBlock; ++w)
+        pads[w] = combine(ctr_only, addressOnlyEnc(address, w));
+    return pads;
+}
+
 DataBlock
 BlockCodec::encode(const DataBlock &block, std::uint64_t address,
                    std::uint64_t counter) const
 {
+    const std::array<Block128, 4> pads =
+        engine_.encryptionOtps(address, counter);
     DataBlock out;
     for (unsigned w = 0; w < kWordsPerBlock; ++w)
-        out[w] = block[w] ^ engine_.encryptionOtp(address, w, counter);
+        out[w] = block[w] ^ pads[w];
     return out;
 }
 

@@ -59,6 +59,15 @@ class OtpEngine
     /** OTP used to compute the block's MAC. */
     virtual Block128 macOtp(std::uint64_t address,
                             std::uint64_t counter) const = 0;
+
+    /**
+     * All four per-word encryption OTPs of one 64 B block.  The default
+     * calls encryptionOtp() per word; engines with shareable per-block
+     * state (RMCC's counter-only AES result) override it so that state
+     * is computed once per block instead of once per word.
+     */
+    virtual std::array<Block128, 4>
+    encryptionOtps(std::uint64_t address, std::uint64_t counter) const;
 };
 
 /** SGX-style single-AES OTP (paper Fig 2). */
@@ -111,6 +120,16 @@ class RmccOtpEngine : public OtpEngine
                            std::uint64_t counter) const override;
     Block128 macOtp(std::uint64_t address,
                     std::uint64_t counter) const override;
+
+    /**
+     * Per-block fast path: the counter-only AES result is shared by all
+     * four words of a block, so compute it once and run only the four
+     * address-only AES calls plus combines (5 AES calls per block
+     * instead of 8).
+     */
+    std::array<Block128, 4>
+    encryptionOtps(std::uint64_t address,
+                   std::uint64_t counter) const override;
 
   private:
     Aes enc_key_;

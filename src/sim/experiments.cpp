@@ -1,9 +1,50 @@
 #include "sim/experiments.hpp"
 
+#include <atomic>
 #include <cstdlib>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace rmcc::sim
 {
+
+namespace
+{
+
+/**
+ * The shared trace is generated from the FIRST configuration's record
+ * count and seed; any config that disagrees would silently simulate a
+ * trace it did not ask for, so refuse the set outright.
+ */
+void
+validateTraceShape(const std::vector<NamedConfig> &configs)
+{
+    if (configs.empty())
+        throw std::invalid_argument(
+            "experiment runner: empty configuration set");
+    const SystemConfig &first = configs.front().cfg;
+    for (const NamedConfig &nc : configs) {
+        if (nc.cfg.trace_records != first.trace_records ||
+            nc.cfg.seed != first.seed) {
+            throw std::invalid_argument(
+                "experiment runner: config '" + nc.label +
+                "' disagrees with '" + configs.front().label +
+                "' on trace shape (trace_records/seed); the shared "
+                "trace would not match");
+        }
+    }
+}
+
+} // namespace
+
+unsigned
+suiteJobs()
+{
+    return util::ThreadPool::envJobs();
+}
 
 SimResult
 runOne(const std::string &workload_name, const trace::TraceBuffer &trace,
@@ -19,21 +60,84 @@ runOne(const std::string &workload_name, const trace::TraceBuffer &trace,
 SuiteRow
 runWorkload(const wl::Workload &w, const std::vector<NamedConfig> &configs)
 {
+    validateTraceShape(configs);
     SuiteRow row;
     row.workload = w.name;
+    row.results.resize(configs.size());
     const trace::TraceBuffer trace = wl::generateTrace(
         w, configs.front().cfg.trace_records, configs.front().cfg.seed);
-    for (const NamedConfig &nc : configs)
-        row.results.push_back(runOne(w.name, trace, nc));
+    const unsigned jobs = suiteJobs();
+    if (jobs <= 1 || configs.size() <= 1) {
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            row.results[c] = runOne(w.name, trace, configs[c]);
+        return row;
+    }
+    util::ThreadPool pool(jobs);
+    util::parallelFor(pool, configs.size(), [&](std::size_t c) {
+        row.results[c] = runOne(w.name, trace, configs[c]);
+    });
     return row;
 }
 
 std::vector<SuiteRow>
-runSuite(const std::vector<NamedConfig> &configs)
+runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
 {
-    std::vector<SuiteRow> rows;
-    for (const wl::Workload &w : wl::workloadSuite())
-        rows.push_back(runWorkload(w, configs));
+    validateTraceShape(configs);
+    const std::vector<wl::Workload> &suite = wl::workloadSuite();
+    const unsigned jobs = suiteJobs();
+
+    if (jobs <= 1) {
+        // Original serial path: workload-major, configs in order.
+        std::vector<SuiteRow> rows;
+        rows.reserve(suite.size());
+        for (const wl::Workload &w : suite) {
+            rows.push_back(runWorkload(w, configs));
+            if (progress)
+                progress(w.name);
+        }
+        return rows;
+    }
+
+    const std::size_t n_wl = suite.size();
+    const std::size_t n_cfg = configs.size();
+    std::vector<SuiteRow> rows(n_wl);
+    for (std::size_t i = 0; i < n_wl; ++i) {
+        rows[i].workload = suite[i].name;
+        rows[i].results.resize(n_cfg);
+    }
+
+    util::ThreadPool pool(jobs);
+
+    // The GraphBig kernels all walk the shared graph; touch it before the
+    // fan-out so its (thread-safe, but serializing) lazy build does not
+    // stall the first wave of workers.
+    wl::sharedGraph();
+
+    // Phase 1: one trace per workload, generated in parallel and then
+    // shared immutably by every configuration of that workload.
+    std::vector<std::optional<trace::TraceBuffer>> traces(n_wl);
+    util::parallelFor(pool, n_wl, [&](std::size_t i) {
+        traces[i].emplace(wl::generateTrace(
+            suite[i], configs.front().cfg.trace_records,
+            configs.front().cfg.seed));
+    });
+
+    // Phase 2: every (workload, config) cell is an independent task.
+    // Each cell writes its own preassigned slot, so results land in
+    // deterministic order no matter which worker finishes first.
+    std::unique_ptr<std::atomic<std::size_t>[]> cells_done(
+        new std::atomic<std::size_t>[n_wl]);
+    for (std::size_t i = 0; i < n_wl; ++i)
+        cells_done[i].store(0, std::memory_order_relaxed);
+    util::parallelFor(pool, n_wl * n_cfg, [&](std::size_t t) {
+        const std::size_t w = t / n_cfg;
+        const std::size_t c = t % n_cfg;
+        rows[w].results[c] = runOne(suite[w].name, *traces[w], configs[c]);
+        if (progress &&
+            cells_done[w].fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                n_cfg)
+            progress(suite[w].name);
+    });
     return rows;
 }
 

@@ -3,10 +3,19 @@
  * Experiment harness shared by the bench binaries: build named
  * configurations, run them over the workload suite (reusing one trace per
  * workload across configurations), and collect SimResults.
+ *
+ * The (workload x configuration) grid is embarrassingly parallel: every
+ * simulation is a pure function of one immutable trace and one config.
+ * runSuite()/runWorkload() fan the grid across a thread pool sized by the
+ * RMCC_JOBS environment variable (default: hardware concurrency).
+ * RMCC_JOBS=1 takes the original serial path — same call order,
+ * bit-for-bit identical results.  Results are always collected in
+ * deterministic (suite, config) order regardless of the job count.
  */
 #ifndef RMCC_SIM_EXPERIMENTS_HPP
 #define RMCC_SIM_EXPERIMENTS_HPP
 
+#include <functional>
 #include <vector>
 
 #include "sim/functional_sim.hpp"
@@ -31,16 +40,40 @@ struct SuiteRow
 };
 
 /**
+ * Per-workload completion callback.  The suite runner invokes it exactly
+ * once per workload, as soon as every configuration of that workload has
+ * finished — from worker threads when running in parallel, so the
+ * callback must be thread-safe (e.g. a mutex-guarded reporter).
+ */
+using ProgressFn = std::function<void(const std::string &workload)>;
+
+/**
  * Run each configuration over each workload of the paper suite.  The
  * workload's trace is generated once (with the first configuration's
- * record count and seed) and shared across configurations, so normalized
- * comparisons see identical instruction streams.
+ * record count and seed) and shared immutably across configurations, so
+ * normalized comparisons see identical instruction streams.
+ *
+ * With RMCC_JOBS > 1 the traces and then every (workload, config) cell
+ * run as independent thread-pool tasks; rows come back in suite order
+ * either way.
+ *
+ * @throws std::invalid_argument if the configurations disagree on the
+ *         trace shape (trace_records / seed) — a silent mismatch would
+ *         feed some configs a trace they did not ask for.
  */
-std::vector<SuiteRow> runSuite(const std::vector<NamedConfig> &configs);
+std::vector<SuiteRow> runSuite(const std::vector<NamedConfig> &configs,
+                               const ProgressFn &progress = {});
 
-/** Run a single workload under each configuration. */
+/**
+ * Run a single workload under each configuration (configs fan out across
+ * the pool when RMCC_JOBS > 1).  Same trace-shape validation as
+ * runSuite().
+ */
 SuiteRow runWorkload(const wl::Workload &w,
                      const std::vector<NamedConfig> &configs);
+
+/** Resolved job count for the suite runner (RMCC_JOBS policy). */
+unsigned suiteJobs();
 
 /** Dispatch one run by the configuration's mode. */
 SimResult runOne(const std::string &workload_name,

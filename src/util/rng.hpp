@@ -63,7 +63,15 @@ class Rng
 };
 
 /**
- * Precomputed-CDF Zipf sampler; O(log n) per draw.
+ * Precomputed-CDF Zipf sampler.
+ *
+ * Draws invert the CDF for a uniform u.  A guide table narrows the
+ * inversion to a handful of CDF entries before the binary search: entry k
+ * holds lower_bound(cdf, k/K), so the search for u only scans
+ * [guide[floor(u*K)], guide[floor(u*K)+1]].  This returns exactly what a
+ * full-array lower_bound would (same rank for the same u, hence the same
+ * stream for the same Rng) at a fraction of the cost — the full search
+ * was the hot spot of power-law graph construction.
  */
 class ZipfSampler
 {
@@ -79,6 +87,8 @@ class ZipfSampler
 
   private:
     std::vector<double> cdf_;
+    std::vector<std::uint32_t> guide_; //!< K+1 lower-bound anchors.
+    double buckets_ = 0.0;             //!< K as a double, for u*K.
 };
 
 } // namespace rmcc::util

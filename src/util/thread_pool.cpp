@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace rmcc::util
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    if (first_error_) {
+        std::exception_ptr err = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            job();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--in_flight_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+unsigned
+ThreadPool::envJobs()
+{
+    if (const char *env = std::getenv("RMCC_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n <= 1 || pool.threadCount() <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace rmcc::util

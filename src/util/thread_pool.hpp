@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fixed-size thread pool used to fan the (workload x configuration)
+ * simulation grid across cores.
+ *
+ * The pool is deliberately minimal — a FIFO queue, N workers, and a
+ * blocking wait() — because the experiment runner's tasks are coarse
+ * (whole simulations) and independent; work stealing would buy nothing.
+ * Concurrency for the suite runner is controlled by the RMCC_JOBS
+ * environment variable (see envJobs()); RMCC_JOBS=1 means callers skip
+ * the pool entirely and run serially.
+ */
+#ifndef RMCC_UTIL_THREAD_POOL_HPP
+#define RMCC_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rmcc::util
+{
+
+/** A fixed set of worker threads draining a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn the workers; at least one thread is always created. */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains remaining jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue one job; runs on some worker in FIFO order. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished.  If any job threw,
+     * the first captured exception is rethrown here (the remaining jobs
+     * still run to completion).
+     */
+    void wait();
+
+    /**
+     * Job-count policy: the RMCC_JOBS environment variable when set to a
+     * positive integer, otherwise std::thread::hardware_concurrency()
+     * (and 1 when even that is unknown).
+     */
+    static unsigned envJobs();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::size_t in_flight_ = 0; //!< Jobs queued or currently running.
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+/**
+ * Run fn(0) .. fn(n-1) across the pool and block until all complete.
+ * With a single-threaded pool (or n <= 1) the calls run inline on the
+ * caller's thread, in index order — the bit-for-bit serial path.
+ */
+void parallelFor(ThreadPool &pool, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace rmcc::util
+
+#endif // RMCC_UTIL_THREAD_POOL_HPP

@@ -1,8 +1,19 @@
 #include "workloads/graph.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
 
 namespace rmcc::wl
 {
@@ -21,7 +32,221 @@ gcdU64(std::uint64_t a, std::uint64_t b)
     return a;
 }
 
+using EdgePair = std::pair<std::uint32_t, std::uint32_t>;
+
+/**
+ * Sort the edge list, fanning chunk sorts and pairwise merges across
+ * RMCC_JOBS threads when that pays.  The sorted sequence of a multiset
+ * is unique, so the result is bit-identical to a plain std::sort no
+ * matter the thread count.
+ */
+void
+sortEdgePairs(std::vector<EdgePair> &pairs)
+{
+    const unsigned jobs = util::ThreadPool::envJobs();
+    if (jobs <= 1 || pairs.size() < (1u << 16)) {
+        std::sort(pairs.begin(), pairs.end());
+        return;
+    }
+    util::ThreadPool pool(jobs);
+    const std::size_t n = pairs.size();
+    const std::size_t n_runs = std::min<std::size_t>(jobs, 16);
+    std::vector<std::size_t> bounds(n_runs + 1);
+    for (std::size_t i = 0; i <= n_runs; ++i)
+        bounds[i] = n * i / n_runs;
+    util::parallelFor(pool, n_runs, [&](std::size_t i) {
+        std::sort(pairs.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
+                  pairs.begin() +
+                      static_cast<std::ptrdiff_t>(bounds[i + 1]));
+    });
+
+    // Merge adjacent runs pairwise, ping-ponging between two buffers.
+    std::vector<EdgePair> scratch(n);
+    std::vector<EdgePair> *src = &pairs, *dst = &scratch;
+    while (bounds.size() > 2) {
+        const std::size_t runs = bounds.size() - 1;
+        std::vector<std::size_t> next_bounds = {0};
+        for (std::size_t j = 0; j + 2 <= runs; j += 2)
+            next_bounds.push_back(bounds[j + 2]);
+        if (runs % 2)
+            next_bounds.push_back(bounds[runs]);
+        util::parallelFor(pool, runs / 2 + runs % 2, [&](std::size_t j) {
+            const std::size_t lo = bounds[2 * j];
+            if (2 * j + 2 <= runs) {
+                const std::size_t mid = bounds[2 * j + 1];
+                const std::size_t hi = bounds[2 * j + 2];
+                std::merge(src->begin() + static_cast<std::ptrdiff_t>(lo),
+                           src->begin() + static_cast<std::ptrdiff_t>(mid),
+                           src->begin() + static_cast<std::ptrdiff_t>(mid),
+                           src->begin() + static_cast<std::ptrdiff_t>(hi),
+                           dst->begin() + static_cast<std::ptrdiff_t>(lo));
+            } else {
+                // Odd run out: carry it into the destination buffer.
+                std::copy(src->begin() + static_cast<std::ptrdiff_t>(lo),
+                          src->begin() +
+                              static_cast<std::ptrdiff_t>(bounds[runs]),
+                          dst->begin() + static_cast<std::ptrdiff_t>(lo));
+            }
+        });
+        std::swap(src, dst);
+        bounds = std::move(next_bounds);
+    }
+    if (src != &pairs)
+        pairs.swap(*src);
+}
+
+// "RMCCGRPH" — identifies (and versions, below) the graph cache files.
+constexpr std::uint64_t kCacheMagic = 0x524d434347525048ULL;
+constexpr std::uint64_t kCacheVersion = 1;
+
+/**
+ * Fixed-size cache-file header; every field is uint64_t so the struct
+ * has no padding and can be read/written as raw bytes.
+ */
+struct CacheHeader
+{
+    std::uint64_t magic;
+    std::uint64_t version;
+    std::uint64_t vertices;
+    std::uint64_t edges_requested;
+    std::uint64_t zipf_bits; //!< bit pattern of the double exponent.
+    std::uint64_t seed;
+    std::uint64_t num_edges; //!< actual edges.size() in the payload.
+    std::uint64_t checksum;  //!< FNV-1a over offsets then edges bytes.
+};
+static_assert(sizeof(CacheHeader) == 8 * sizeof(std::uint64_t));
+
+std::uint64_t
+fnv1a(const void *data, std::size_t n,
+      std::uint64_t h = 0xcbf29ce484222325ULL)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+graphChecksum(const Graph &g)
+{
+    const std::uint64_t h =
+        fnv1a(g.offsets.data(),
+              g.offsets.size() * sizeof(std::uint64_t));
+    return fnv1a(g.edges.data(), g.edges.size() * sizeof(std::uint32_t),
+                 h);
+}
+
+bool
+readExact(std::FILE *f, void *dst, std::size_t n)
+{
+    return std::fread(dst, 1, n, f) == n;
+}
+
+/**
+ * Load a cached CSR, validating every header field, the payload size,
+ * and the checksum.  Any mismatch (stale format, different parameters,
+ * truncated or corrupt file) returns false so the caller rebuilds.
+ */
+bool
+loadGraphCache(const std::string &path, const CacheHeader &want,
+               Graph &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    CacheHeader h{};
+    bool ok = readExact(f, &h, sizeof h) && h.magic == want.magic &&
+              h.version == want.version &&
+              h.vertices == want.vertices &&
+              h.edges_requested == want.edges_requested &&
+              h.zipf_bits == want.zipf_bits && h.seed == want.seed &&
+              h.num_edges == want.edges_requested;
+    if (ok) {
+        out.num_vertices = h.vertices;
+        out.offsets.resize(h.vertices + 1);
+        out.edges.resize(h.num_edges);
+        ok = readExact(f, out.offsets.data(),
+                       out.offsets.size() * sizeof(std::uint64_t)) &&
+             readExact(f, out.edges.data(),
+                       out.edges.size() * sizeof(std::uint32_t)) &&
+             std::fgetc(f) == EOF && graphChecksum(out) == h.checksum;
+    }
+    std::fclose(f);
+    if (!ok)
+        out = Graph{};
+    return ok;
+}
+
+/**
+ * Write the cache atomically: build a .tmp sibling, then rename() it
+ * into place so concurrent readers only ever see complete files.  All
+ * failures are silent — the cache is an optimization, not a contract.
+ */
+void
+saveGraphCache(const std::string &path, const CacheHeader &h,
+               const Graph &g)
+{
+#ifdef __unix__
+    const unsigned long uniq = static_cast<unsigned long>(::getpid());
+#else
+    const unsigned long uniq = 0;
+#endif
+    const std::string tmp = path + ".tmp." + std::to_string(uniq);
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return;
+    bool ok =
+        std::fwrite(&h, 1, sizeof h, f) == sizeof h &&
+        std::fwrite(g.offsets.data(), sizeof(std::uint64_t),
+                    g.offsets.size(), f) == g.offsets.size() &&
+        std::fwrite(g.edges.data(), sizeof(std::uint32_t),
+                    g.edges.size(), f) == g.edges.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0)
+        std::remove(tmp.c_str());
+}
+
 } // namespace
+
+Graph
+Graph::powerLawCached(std::uint64_t vertices, std::uint64_t edges,
+                      double zipf_exponent, std::uint64_t seed)
+{
+    const char *toggle = std::getenv("RMCC_GRAPH_CACHE");
+    if (toggle && std::string(toggle) == "0")
+        return powerLaw(vertices, edges, zipf_exponent, seed);
+
+    std::uint64_t zipf_bits = 0;
+    static_assert(sizeof zipf_bits == sizeof zipf_exponent);
+    std::memcpy(&zipf_bits, &zipf_exponent, sizeof zipf_bits);
+
+    CacheHeader want{kCacheMagic, kCacheVersion, vertices, edges,
+                     zipf_bits,   seed,          edges,    0};
+
+    const char *dir = std::getenv("RMCC_GRAPH_CACHE_DIR");
+    std::string path = (dir && *dir) ? dir : "/tmp";
+    char name[128];
+    std::snprintf(name, sizeof name,
+                  "/rmcc_graph_v%llu_%llx_%llx_%llx_%llx.bin",
+                  static_cast<unsigned long long>(kCacheVersion),
+                  static_cast<unsigned long long>(vertices),
+                  static_cast<unsigned long long>(edges),
+                  static_cast<unsigned long long>(zipf_bits),
+                  static_cast<unsigned long long>(seed));
+    path += name;
+
+    Graph g;
+    if (loadGraphCache(path, want, g))
+        return g;
+
+    g = powerLaw(vertices, edges, zipf_exponent, seed);
+    want.num_edges = g.numEdges();
+    want.checksum = graphChecksum(g);
+    saveGraphCache(path, want, g);
+    return g;
+}
 
 Graph
 Graph::powerLaw(std::uint64_t vertices, std::uint64_t num_edges,
@@ -48,8 +273,10 @@ Graph::powerLaw(std::uint64_t vertices, std::uint64_t num_edges,
     std::vector<std::uint32_t> degree(vertices, 0);
 
     // Draw (src, dst) pairs: Zipf sources give hub vertices; half the
-    // targets are Zipf (popular destinations), half uniform.
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    // targets are Zipf (popular destinations), half uniform.  This loop
+    // is inherently serial — the degree-cap fallback draws extra RNG
+    // values conditionally, so every edge depends on its predecessors.
+    std::vector<EdgePair> pairs;
     pairs.reserve(num_edges);
     for (std::uint64_t e = 0; e < num_edges; ++e) {
         std::uint64_t src_rank = zipf(rng);
@@ -60,18 +287,18 @@ Graph::powerLaw(std::uint64_t vertices, std::uint64_t num_edges,
             rng.nextBool(0.5) ? zipf(rng) : rng.nextBelow(vertices);
         pairs.emplace_back(perm(src_rank), perm(dst_rank));
     }
-    std::sort(pairs.begin(), pairs.end());
+    sortEdgePairs(pairs);
 
     Graph g;
     g.num_vertices = vertices;
     g.offsets.assign(vertices + 1, 0);
-    g.edges.reserve(pairs.size());
     for (const auto &[src, dst] : pairs)
         ++g.offsets[src + 1];
     for (std::uint64_t v = 0; v < vertices; ++v)
         g.offsets[v + 1] += g.offsets[v];
-    for (const auto &[src, dst] : pairs)
-        g.edges.push_back(dst);
+    g.edges.resize(pairs.size());
+    for (std::uint64_t e = 0; e < pairs.size(); ++e)
+        g.edges[e] = pairs[e].second;
     // Per-vertex adjacency is already sorted by the pair sort; that makes
     // triangle counting's sorted-intersection realistic.
     return g;

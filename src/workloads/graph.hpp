@@ -37,6 +37,19 @@ struct Graph
      */
     static Graph powerLaw(std::uint64_t vertices, std::uint64_t edges,
                           double zipf_exponent, std::uint64_t seed);
+
+    /**
+     * powerLaw() behind an on-disk memo: the CSR of a (vertices, edges,
+     * exponent, seed) build is checksummed and cached in the directory
+     * named by RMCC_GRAPH_CACHE_DIR (default /tmp), so the ~seconds-long
+     * generation runs once per machine instead of once per bench
+     * process.  A stale, corrupt, or unwritable cache silently falls
+     * back to building; RMCC_GRAPH_CACHE=0 disables the cache entirely.
+     * The returned graph is byte-identical to powerLaw()'s either way.
+     */
+    static Graph powerLawCached(std::uint64_t vertices,
+                                std::uint64_t edges,
+                                double zipf_exponent, std::uint64_t seed);
 };
 
 /**

@@ -37,8 +37,8 @@ const Graph &
 sharedGraph()
 {
     static const Graph g =
-        Graph::powerLaw(kGraphVertices, kGraphEdges, kGraphZipf,
-                        kGraphSeed);
+        Graph::powerLawCached(kGraphVertices, kGraphEdges, kGraphZipf,
+                              kGraphSeed);
     return g;
 }
 

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "crypto/aes.hpp"
 #include "crypto/clmul.hpp"
 #include "crypto/mac.hpp"
@@ -52,6 +54,36 @@ TEST(Aes, Fips197Aes256Vector)
     const Block128 pt = hexBlock("00112233445566778899aabbccddeeff");
     const Block128 expect = hexBlock("8ea2b7ca516745bfeafc49904b496089");
     EXPECT_EQ(aes.encrypt(pt), expect);
+}
+
+TEST(Aes, ReferencePathMatchesNistVectors)
+{
+    // The byte-wise oracle must itself pass FIPS-197 Appendix C.
+    std::array<std::uint8_t, 16> key128;
+    for (int i = 0; i < 16; ++i)
+        key128[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    std::array<std::uint8_t, 32> key256;
+    for (int i = 0; i < 32; ++i)
+        key256[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    const Block128 pt = hexBlock("00112233445566778899aabbccddeeff");
+    EXPECT_EQ(Aes::fromKey128(key128).encryptReference(pt),
+              hexBlock("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    EXPECT_EQ(Aes::fromKey256(key256).encryptReference(pt),
+              hexBlock("8ea2b7ca516745bfeafc49904b496089"));
+}
+
+TEST(Aes, TTableMatchesReferenceOnRandomInputs)
+{
+    // The T-table fast path must agree with the byte-wise FIPS-197
+    // rounds on random keys and plaintexts, for both key sizes.
+    std::mt19937_64 rng(0xc0ffee);
+    for (int trial = 0; trial < 256; ++trial) {
+        const Aes aes = Aes::fromSeed(rng(), trial % 2 == 0
+                                                 ? Aes::KeySize::k128
+                                                 : Aes::KeySize::k256);
+        const Block128 pt = makeBlock(rng(), rng());
+        EXPECT_EQ(aes.encrypt(pt), aes.encryptReference(pt));
+    }
 }
 
 TEST(Aes, RoundCounts)
@@ -104,6 +136,23 @@ TEST(Clmul, KnownSmallProducts)
     std::tie(lo, hi) = clmul64(1ULL << 63, 2);
     EXPECT_EQ(lo, 0u);
     EXPECT_EQ(hi, 1u);
+}
+
+TEST(Clmul, WindowedMatchesBitwiseReference)
+{
+    // Edge cases the 4-bit windows must not mangle.
+    const std::uint64_t edges[] = {0ULL, 1ULL, 0xfULL, 1ULL << 63,
+                                   ~0ULL};
+    for (std::uint64_t a : edges)
+        for (std::uint64_t b : edges)
+            EXPECT_EQ(clmul64(a, b), clmul64Reference(a, b))
+                << "a=" << a << " b=" << b;
+    std::mt19937_64 rng(0x5eed);
+    for (int trial = 0; trial < 1000; ++trial) {
+        const std::uint64_t a = rng(), b = rng();
+        EXPECT_EQ(clmul64(a, b), clmul64Reference(a, b))
+            << "a=" << a << " b=" << b;
+    }
 }
 
 TEST(Clmul, CommutativeAndDistributive)
@@ -226,6 +275,19 @@ TEST_F(OtpEngines, RmccMemoizedValueReusableAcrossAddresses)
     EXPECT_NE(a, b);
     EXPECT_EQ(a, rmcc_.encryptionOtp(0x1000, 0, 777));
     EXPECT_EQ(b, rmcc_.encryptionOtp(0x2000, 0, 777));
+}
+
+TEST_F(OtpEngines, BlockOtpsMatchPerWordOtps)
+{
+    // The per-block fast path (RMCC: one counter-only AES per block)
+    // must yield exactly the per-word OTPs.
+    for (const OtpEngine *eng :
+         {static_cast<const OtpEngine *>(&baseline_),
+          static_cast<const OtpEngine *>(&rmcc_)}) {
+        const auto pads = eng->encryptionOtps(0xbeef00, 321);
+        for (unsigned w = 0; w < kWordsPerBlock; ++w)
+            EXPECT_EQ(pads[w], eng->encryptionOtp(0xbeef00, w, 321));
+    }
 }
 
 TEST_F(OtpEngines, CodecRoundTripsBothEngines)

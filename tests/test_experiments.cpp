@@ -6,7 +6,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <mutex>
+#include <stdexcept>
 
 #include "sim/experiments.hpp"
 
@@ -98,6 +101,85 @@ TEST(SimResultT, EmptyResultIsSafe)
     EXPECT_DOUBLE_EQ(r.perf(), 0.0);
     EXPECT_DOUBLE_EQ(r.counterMissRate(), 0.0);
     EXPECT_DOUBLE_EQ(r.memoHitRateAll(), 0.0);
+}
+
+TEST(SuiteRunner, MismatchedTraceShapeThrows)
+{
+    // A silent trace_records/seed mismatch used to make every config
+    // after the first simulate a trace it did not ask for.
+    std::vector<NamedConfig> configs = {
+        nonSecureConfig(SimMode::Timing),
+        rmccConfig(SimMode::Timing),
+    };
+    configs[1].cfg.trace_records = configs[0].cfg.trace_records / 2;
+    const auto *w = wl::findWorkload("omnetpp");
+    EXPECT_THROW(runWorkload(*w, configs), std::invalid_argument);
+    EXPECT_THROW(runSuite(configs), std::invalid_argument);
+
+    configs[1].cfg.trace_records = configs[0].cfg.trace_records;
+    configs[1].cfg.seed = configs[0].cfg.seed + 1;
+    EXPECT_THROW(runWorkload(*w, configs), std::invalid_argument);
+
+    EXPECT_THROW(runSuite({}), std::invalid_argument);
+}
+
+TEST(SuiteRunner, ParallelMatchesSerialBitForBit)
+{
+    // The whole point of the parallel runner: RMCC_JOBS only changes
+    // wall-clock, never results.  Every stat of every (workload, config)
+    // cell must agree between a 4-job and a 1-job run.
+    std::vector<NamedConfig> configs = {
+        nonSecureConfig(SimMode::Timing),
+        rmccConfig(SimMode::Timing),
+    };
+    for (auto &nc : configs) {
+        nc.cfg.trace_records = 20000;
+        nc.cfg.warmup_records = 10000;
+    }
+
+    setenv("RMCC_JOBS", "4", 1);
+    EXPECT_EQ(suiteJobs(), 4u);
+    const std::vector<SuiteRow> parallel = runSuite(configs);
+    setenv("RMCC_JOBS", "1", 1);
+    EXPECT_EQ(suiteJobs(), 1u);
+    const std::vector<SuiteRow> serial = runSuite(configs);
+    unsetenv("RMCC_JOBS");
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t w = 0; w < serial.size(); ++w) {
+        EXPECT_EQ(parallel[w].workload, serial[w].workload);
+        ASSERT_EQ(parallel[w].results.size(), serial[w].results.size());
+        for (std::size_t c = 0; c < serial[w].results.size(); ++c) {
+            const SimResult &p = parallel[w].results[c];
+            const SimResult &s = serial[w].results[c];
+            EXPECT_EQ(p.config_label, s.config_label);
+            EXPECT_EQ(p.instructions, s.instructions);
+            EXPECT_EQ(p.elapsed_ns, s.elapsed_ns);
+            EXPECT_EQ(p.stats.all(), s.stats.all())
+                << parallel[w].workload << " / " << p.config_label;
+        }
+    }
+}
+
+TEST(SuiteRunner, ProgressReportsEveryWorkloadOnce)
+{
+    std::vector<NamedConfig> configs = {nonSecureConfig(SimMode::Timing)};
+    configs[0].cfg.trace_records = 5000;
+    configs[0].cfg.warmup_records = 2500;
+    setenv("RMCC_JOBS", "4", 1);
+    std::mutex mutex;
+    std::vector<std::string> reported;
+    runSuite(configs, [&](const std::string &w) {
+        std::lock_guard<std::mutex> lock(mutex);
+        reported.push_back(w);
+    });
+    unsetenv("RMCC_JOBS");
+    std::vector<std::string> expected;
+    for (const auto &w : wl::workloadSuite())
+        expected.push_back(w.name);
+    std::sort(reported.begin(), reported.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(reported, expected);
 }
 
 TEST(SuiteRunner, SharedTraceAcrossConfigs)

@@ -1,18 +1,87 @@
 /**
  * @file
  * Unit tests for the util module: RNG determinism and distributions,
- * statistics, bit packing, and table rendering.
+ * statistics, bit packing, table rendering, and the thread pool.
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace rmcc::util;
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(pool, n, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder)
+{
+    ThreadPool pool(1);
+    std::vector<std::size_t> order;
+    parallelFor(pool, 8, [&](std::size_t i) { order.push_back(i); });
+    std::vector<std::size_t> expected(8);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ReusableAcrossPhases)
+{
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    for (int phase = 0; phase < 4; ++phase)
+        parallelFor(pool, 50, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstJobException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(parallelFor(pool, 16,
+                             [&](std::size_t i) {
+                                 if (i == 7)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+    // The pool must still be usable after an exception.
+    std::atomic<int> ran{0};
+    parallelFor(pool, 4, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, EnvJobsParsesRmccJobs)
+{
+    setenv("RMCC_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::envJobs(), 3u);
+    setenv("RMCC_JOBS", "1", 1);
+    EXPECT_EQ(ThreadPool::envJobs(), 1u);
+    // Garbage or non-positive values fall back to hardware concurrency.
+    setenv("RMCC_JOBS", "zero", 1);
+    EXPECT_GE(ThreadPool::envJobs(), 1u);
+    setenv("RMCC_JOBS", "-2", 1);
+    EXPECT_GE(ThreadPool::envJobs(), 1u);
+    unsetenv("RMCC_JOBS");
+    EXPECT_GE(ThreadPool::envJobs(), 1u);
+}
 
 TEST(Rng, DeterministicForEqualSeeds)
 {

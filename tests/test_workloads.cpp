@@ -7,6 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "workloads/registry.hpp"
 
@@ -65,6 +69,58 @@ TEST(Graph, DeterministicForSeed)
     const Graph b = Graph::powerLaw(1000, 8000, 0.8, 9);
     EXPECT_EQ(a.edges, b.edges);
     EXPECT_EQ(a.offsets, b.offsets);
+}
+
+TEST(Graph, DiskCacheRoundTripsAndSurvivesCorruption)
+{
+    // Point the cache at a scratch dir so this test owns its files.
+    // The filename pins the on-disk naming scheme (0.8 == 0x3fe99...9a).
+    const std::string dir =
+        ::testing::TempDir() + "rmcc_graph_cache_test";
+    const std::string cache_file =
+        dir + "/rmcc_graph_v1_3e8_1f40_3fe999999999999a_9.bin";
+    ASSERT_EQ(setenv("RMCC_GRAPH_CACHE_DIR", dir.c_str(), 1), 0);
+    ASSERT_EQ(system(("rm -rf '" + dir + "'").c_str()), 0);
+
+    // Nonexistent dir: save fails silently, build still succeeds.
+    const Graph base = Graph::powerLaw(1000, 8000, 0.8, 9);
+    const Graph nodir = Graph::powerLawCached(1000, 8000, 0.8, 9);
+    EXPECT_EQ(nodir.offsets, base.offsets);
+    EXPECT_EQ(nodir.edges, base.edges);
+
+    // Cold miss populates the cache; warm hit returns the same bytes.
+    ASSERT_EQ(system(("mkdir -p '" + dir + "'").c_str()), 0);
+    const Graph cold = Graph::powerLawCached(1000, 8000, 0.8, 9);
+    EXPECT_EQ(cold.offsets, base.offsets);
+    EXPECT_EQ(cold.edges, base.edges);
+    ASSERT_TRUE(std::ifstream(cache_file).good())
+        << "cache file not created where expected: " << cache_file;
+    const Graph warm = Graph::powerLawCached(1000, 8000, 0.8, 9);
+    EXPECT_EQ(warm.offsets, base.offsets);
+    EXPECT_EQ(warm.edges, base.edges);
+
+    // Corrupt the payload: the checksum must reject it and rebuild.
+    {
+        std::fstream f(cache_file,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(200);
+        const int orig = f.get();
+        ASSERT_NE(orig, EOF);
+        f.seekp(200);
+        f.put(static_cast<char>(orig ^ 0x7f));
+    }
+    const Graph rebuilt = Graph::powerLawCached(1000, 8000, 0.8, 9);
+    EXPECT_EQ(rebuilt.offsets, base.offsets);
+    EXPECT_EQ(rebuilt.edges, base.edges);
+
+    // RMCC_GRAPH_CACHE=0 bypasses the cache entirely.
+    ASSERT_EQ(setenv("RMCC_GRAPH_CACHE", "0", 1), 0);
+    const Graph off = Graph::powerLawCached(1000, 8000, 0.8, 9);
+    EXPECT_EQ(off.offsets, base.offsets);
+    EXPECT_EQ(off.edges, base.edges);
+    unsetenv("RMCC_GRAPH_CACHE");
+    unsetenv("RMCC_GRAPH_CACHE_DIR");
 }
 
 TEST(Registry, PaperSuiteComplete)
