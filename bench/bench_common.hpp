@@ -8,6 +8,7 @@
 #define RMCC_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -45,6 +46,10 @@ class ProgressReporter
     std::string title_;
     std::mutex mutex_;
 };
+
+inline void emitCellErrors(const std::string &csv,
+                           const std::vector<sim::NamedConfig> &configs,
+                           const std::vector<sim::SuiteRow> &rows);
 
 /**
  * Run every configuration over the suite and emit one table: rows are
@@ -97,6 +102,44 @@ runAndEmit(const std::string &title, const std::string &csv,
     }
     table.addRow(mean_cells);
     table.emit(csv);
+    emitCellErrors(csv, configs, rows);
+}
+
+/**
+ * Record cells that failed or timed out: one line per bad cell in a
+ * `<csv>.errors` sidecar plus a stderr warning.  Failed cells carry
+ * placeholder results, so the main CSV stays complete and parseable;
+ * the sidecar is how a consumer learns which of its numbers to discard.
+ * No sidecar is written (and a stale one is removed) on a clean run.
+ */
+inline void
+emitCellErrors(const std::string &csv,
+               const std::vector<sim::NamedConfig> &configs,
+               const std::vector<sim::SuiteRow> &rows)
+{
+    const std::string path = csv + ".errors";
+    std::size_t bad = 0;
+    std::ofstream out;
+    for (const sim::SuiteRow &row : rows) {
+        for (std::size_t c = 0;
+             c < row.statuses.size() && c < configs.size(); ++c) {
+            const sim::CellStatus &st = row.statuses[c];
+            if (st.ok())
+                continue;
+            if (bad++ == 0)
+                out.open(path, std::ios::trunc);
+            out << row.workload << ',' << configs[c].label << ','
+                << sim::cellStateName(st.state) << ',' << st.attempts
+                << " attempts," << st.error << '\n';
+        }
+    }
+    if (bad == 0) {
+        std::remove(path.c_str());
+        return;
+    }
+    std::fprintf(stderr,
+                 "WARNING: %zu cell(s) failed or timed out; see %s\n", bad,
+                 path.c_str());
 }
 
 /** Performance of config c normalized to config 0 (first column). */

@@ -231,4 +231,16 @@ MemoTable::groupStarts() const
     return out;
 }
 
+std::vector<addr::CounterValue>
+MemoTable::memoizedValues() const
+{
+    std::vector<addr::CounterValue> out;
+    for (const Group &g : groups_)
+        if (g.valid)
+            for (unsigned i = 0; i < cfg_.group_size; ++i)
+                out.push_back(g.start + i);
+    out.insert(out.end(), recent_.begin(), recent_.end());
+    return out;
+}
+
 } // namespace rmcc::core

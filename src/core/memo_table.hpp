@@ -100,6 +100,14 @@ class MemoTable
     /** All current group start values (tests/diagnostics). */
     std::vector<addr::CounterValue> groupStarts() const;
 
+    /**
+     * Every counter value currently memoized: all values of all valid
+     * groups plus the MRU evicted-group values.  Used by the fault
+     * injector to aim memo-entry perturbations at live entries, and by
+     * tests asserting table contents across overflow edges.
+     */
+    std::vector<addr::CounterValue> memoizedValues() const;
+
     /** Lifetime hit counters. */
     std::uint64_t groupHits() const { return group_hits_; }
     std::uint64_t recentHits() const { return recent_hits_; }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "address/types.hpp"
 #include "counters/store.hpp"
@@ -135,6 +136,25 @@ class CounterScheme
         for (std::uint64_t i = first; i < last; ++i)
             m = std::max(m, read(i));
         return m;
+    }
+
+    /**
+     * Logical values of every counter in block cb, in entity order (the
+     * last block of a level may cover fewer than coverage() entities).
+     * This is the content the fault layer serializes and MACs: the
+     * authenticated payload of the stored counter block.
+     */
+    std::vector<addr::CounterValue>
+    blockValues(addr::CounterBlockId cb) const
+    {
+        const std::uint64_t first = cb * coverage();
+        const std::uint64_t last =
+            std::min<std::uint64_t>(first + coverage(), entities());
+        std::vector<addr::CounterValue> vals;
+        vals.reserve(last - first);
+        for (std::uint64_t i = first; i < last; ++i)
+            vals.push_back(read(i));
+        return vals;
     }
 
     /** Total overflow events so far. */

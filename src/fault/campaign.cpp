@@ -1,0 +1,114 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+
+#include "dram/ddr4.hpp"
+#include "mc/secure_mc.hpp"
+#include "util/rng.hpp"
+
+namespace rmcc::fault
+{
+
+FaultCampaign::FaultCampaign(const FaultPlan &plan,
+                             const OracleConfig &ocfg)
+    : plan_(plan), ocfg_(ocfg)
+{
+}
+
+void
+FaultCampaign::bind(ctr::IntegrityTree &tree, core::RmccEngine *engine)
+{
+    engine_ = engine;
+    const bool memo_live =
+        engine_ != nullptr && engine_->enabled() && engine_->memoLevels() > 0;
+    if (!memo_live)
+        plan_.combos.erase(
+            std::remove_if(plan_.combos.begin(), plan_.combos.end(),
+                           [](const FaultCombo &c) {
+                               return c.site == FaultSite::MemoEntry;
+                           }),
+            plan_.combos.end());
+    oracle_ = std::make_unique<DetectionOracle>(ocfg_, tree);
+    injector_ = std::make_unique<Injector>(*oracle_, plan_);
+    if (memo_live)
+        injector_->setMemoTable(&engine_->table(0));
+}
+
+bool
+FaultCampaign::memoHitFor(addr::BlockId blk)
+{
+    if (engine_ == nullptr || !engine_->enabled() ||
+        engine_->memoLevels() == 0)
+        return false;
+    return engine_->table(0).contains(oracle_->storedL0Value(blk));
+}
+
+void
+FaultCampaign::afterRecord()
+{
+    ++records_seen_;
+    if (done())
+        return;
+    const std::uint64_t gap = std::max<std::uint64_t>(1, plan_.gap_records);
+    if (records_seen_ % gap != 0)
+        return;
+    if (injector_->injectOne())
+        oracle_->classifyPending(
+            memoHitFor(oracle_->pending().readback_block));
+}
+
+FaultStats
+runFaultSweep(const FaultPlan &plan, const SweepConfig &cfg)
+{
+    ctr::IntegrityTree tree(cfg.scheme, cfg.data_blocks);
+    util::Rng rng(cfg.seed);
+    if (cfg.init_mean > 0)
+        tree.randomInit(rng, cfg.init_mean);
+
+    core::RmccConfig rc;
+    rc.enabled = cfg.rmcc;
+    core::RmccEngine engine(rc, tree);
+    dram::Ddr4 dram;
+    mc::McConfig mc_cfg;
+    mc_cfg.counter_cache_bytes = cfg.counter_cache_bytes;
+    mc::SecureMc mc(mc_cfg, tree, engine, dram);
+
+    OracleConfig ocfg;
+    ocfg.split_otp = cfg.split_otp;
+    ocfg.mac_bits = cfg.mac_bits;
+    ocfg.key_seed = cfg.seed ^ 0xfa177ULL;
+    FaultCampaign campaign(plan, ocfg);
+    campaign.bind(tree, &engine);
+    mc.attachObserver(campaign.oracle());
+
+    // Zipf-popular traffic over a hot working set: repeated writes climb
+    // counters (driving SC-64 saturation, Morphable rebase, and RMCC
+    // releveling mid-sweep), repeated reads keep memoized values in use.
+    const std::uint64_t hot =
+        std::max<std::uint64_t>(1,
+                                std::min(cfg.hot_blocks, cfg.data_blocks));
+    const util::ZipfSampler zipf(hot, 0.8);
+    double now_ns = 0.0;
+    // Masked-only injections (e.g. replay with no prior image early on)
+    // still consume plan slots, so the record budget bounds the loop.
+    std::uint64_t budget =
+        plan.injections * std::max<std::uint64_t>(1, plan.gap_records) * 4 +
+        4096;
+    while (!campaign.done() && budget-- > 0) {
+        const addr::BlockId blk = zipf(rng);
+        const addr::Addr paddr = addr::blockBase(blk);
+        const bool write = campaign.oracle()->writtenBlocks().empty() ||
+                           rng.nextBool(cfg.write_fraction);
+        if (write)
+            now_ns = std::max(now_ns, mc.write(paddr, now_ns));
+        else
+            mc.read(paddr, now_ns);
+        now_ns += 10.0;
+        campaign.afterRecord();
+    }
+    mc.attachObserver(nullptr);
+    FaultStats stats = campaign.stats();
+    return stats;
+}
+
+} // namespace rmcc::fault

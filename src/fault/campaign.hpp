@@ -1,0 +1,116 @@
+/**
+ * @file
+ * FaultCampaign glues plan, oracle, and injector into the injection
+ * loop a simulation drives: one afterRecord() call per trace record (or
+ * per memory operation), injecting every gap_records and classifying
+ * each fault on its forced readback immediately.
+ *
+ * runFaultSweep() is the standalone harness: it builds a full secure
+ * stack (tree, RMCC engine, DRAM, SecureMc), attaches the oracle as the
+ * controller's observer, and drives a seeded Zipf read/write stream
+ * until the plan's injections are exhausted — the workhorse behind the
+ * detection-matrix acceptance runs and the fault_sweep example.
+ */
+#ifndef RMCC_FAULT_CAMPAIGN_HPP
+#define RMCC_FAULT_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "core/rmcc_engine.hpp"
+#include "fault/injector.hpp"
+#include "fault/oracle.hpp"
+#include "fault/plan.hpp"
+
+namespace rmcc::fault
+{
+
+/**
+ * One injection campaign over a live secure-memory stack.
+ *
+ * Construction is cheap and tree-free so a campaign can be handed to a
+ * simulator that builds its own component stack (runFunctional); bind()
+ * attaches it to the live tree and engine before traffic flows.  After
+ * the driven stack is torn down, stats() and the oracle's records stay
+ * readable — only verification/injection entry points are off limits.
+ */
+class FaultCampaign
+{
+  public:
+    FaultCampaign(const FaultPlan &plan, const OracleConfig &ocfg);
+
+    /**
+     * Create the oracle/injector over the live tree and aim MemoEntry
+     * faults at the engine's L0 memo table.  With a null or disabled
+     * engine those combos are dropped from the plan (they cannot
+     * occur).  Call once, before driving traffic; the tree must outlive
+     * all traffic.
+     */
+    void bind(ctr::IntegrityTree &tree, core::RmccEngine *engine);
+
+    /** Bound yet? */
+    bool bound() const { return oracle_ != nullptr; }
+
+    /** The oracle, e.g. for SecureMc::attachObserver; null before bind. */
+    DetectionOracle *oracle() { return oracle_.get(); }
+    const DetectionOracle *oracle() const { return oracle_.get(); }
+
+    /**
+     * Advance the campaign by one observed record: every gap_records,
+     * inject the next planned fault and classify it on a forced
+     * readback of its target block.
+     */
+    void afterRecord();
+
+    /** All planned injections performed? @pre bound() */
+    bool done() const
+    {
+        return oracle_->stats().injected >= plan_.injections;
+    }
+
+    /** @pre bound() */
+    const FaultStats &stats() const { return oracle_->stats(); }
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    /** Would a read of blk hit the memo table right now? */
+    bool memoHitFor(addr::BlockId blk);
+
+    FaultPlan plan_;
+    OracleConfig ocfg_;
+    std::unique_ptr<DetectionOracle> oracle_;
+    std::unique_ptr<Injector> injector_;
+    core::RmccEngine *engine_ = nullptr;
+    std::uint64_t records_seen_ = 0;
+};
+
+/** Configuration of a standalone fault sweep. */
+struct SweepConfig
+{
+    ctr::SchemeKind scheme = ctr::SchemeKind::SgxMonolithic;
+    bool rmcc = true;      //!< RMCC engine enabled (memoization live).
+    bool split_otp = true; //!< RMCC split OTP; false = baseline SGX OTP.
+    unsigned mac_bits = 56; //!< Oracle compare width (< 56 weakens).
+    std::uint64_t data_blocks = 1ULL << 14;
+    //! Zipf working set; wide enough that its counter blocks overflow
+    //! the (small) counter cache, so writebacks bump higher-level
+    //! counters and re-store tree nodes mid-sweep.
+    std::uint64_t hot_blocks = 1ULL << 12;
+    std::uint64_t seed = 1;
+    addr::CounterValue init_mean = 64; //!< randomInit mean; 0 = fresh.
+    double write_fraction = 0.3;
+    //! Deliberately small so counter blocks actually get evicted and
+    //! written back: that is what bumps higher-level counters, creating
+    //! the re-stored node images replay faults need.
+    std::uint64_t counter_cache_bytes = 2048; //!< 32 lines (one set).
+};
+
+/**
+ * Build a secure stack, drive traffic, inject the whole plan, and
+ * return the classification counts.
+ */
+FaultStats runFaultSweep(const FaultPlan &plan, const SweepConfig &cfg);
+
+} // namespace rmcc::fault
+
+#endif // RMCC_FAULT_CAMPAIGN_HPP

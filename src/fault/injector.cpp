@@ -1,0 +1,254 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+namespace rmcc::fault
+{
+
+Injector::Injector(DetectionOracle &oracle, const FaultPlan &plan)
+    : oracle_(oracle), plan_(plan), rng_(plan.seed)
+{
+}
+
+std::vector<addr::CounterBlockId>
+Injector::pathOf(addr::BlockId blk) const
+{
+    const ctr::IntegrityTree &tree = oracle_.tree();
+    std::vector<addr::CounterBlockId> path;
+    path.reserve(tree.levels());
+    std::uint64_t entity = blk;
+    for (unsigned k = 0; k < tree.levels(); ++k) {
+        entity /= tree.level(k).coverage();
+        path.push_back(entity);
+    }
+    return path;
+}
+
+unsigned
+Injector::onPathEntry(addr::BlockId blk,
+                      const std::vector<addr::CounterBlockId> &path,
+                      unsigned level) const
+{
+    const ctr::IntegrityTree &tree = oracle_.tree();
+    const std::uint64_t entity = level == 0 ? blk : path[level - 1];
+    return static_cast<unsigned>(entity % tree.level(level).coverage());
+}
+
+bool
+Injector::injectOne()
+{
+    if (plan_.combos.empty())
+        return false;
+    const FaultCombo combo =
+        plan_.combos[cursor_++ % plan_.combos.size()];
+
+    const auto &written = oracle_.writtenBlocks();
+    FaultRecord rec;
+    rec.combo = combo;
+    if (written.empty()) {
+        rec.outcome = FaultOutcome::Masked;
+        rec.note = "no data block written yet";
+        oracle_.recordImmediate(std::move(rec));
+        return false;
+    }
+    rec.readback_block = written[rng_.nextBelow(written.size())];
+    oracle_.materializePath(rec.readback_block);
+
+    bool armed = false;
+    switch (combo.site) {
+    case FaultSite::DataCiphertext:
+    case FaultSite::DataMac:
+        armed = injectData(rec);
+        break;
+    case FaultSite::L0Counter:
+    case FaultSite::TreeNode:
+        armed = injectNode(rec, pathOf(rec.readback_block));
+        break;
+    case FaultSite::MemoEntry:
+        armed = injectMemo(rec);
+        break;
+    }
+    if (armed) {
+        oracle_.armFault(rec);
+        return true;
+    }
+    rec.outcome = FaultOutcome::Masked;
+    if (rec.note.empty())
+        rec.note = "perturbation had no effect";
+    oracle_.recordImmediate(std::move(rec));
+    return false;
+}
+
+bool
+Injector::injectData(FaultRecord &rec)
+{
+    const addr::BlockId blk = rec.readback_block;
+    rec.unit = blk;
+    switch (rec.combo.kind) {
+    case FaultKind::BitFlip: {
+        const unsigned bits =
+            rec.combo.site == FaultSite::DataCiphertext ? 512 : 56;
+        const auto bit = static_cast<unsigned>(rng_.nextBelow(bits));
+        rec.detail = bit;
+        return rec.combo.site == FaultSite::DataCiphertext
+                   ? oracle_.flipCiphertext(blk, bit, 1)
+                   : oracle_.flipMac(blk, bit, 1);
+    }
+    case FaultKind::BurstFlip: {
+        const unsigned bits =
+            rec.combo.site == FaultSite::DataCiphertext ? 512 : 56;
+        const auto len = static_cast<unsigned>(rng_.nextInRange(2, 8));
+        const auto bit =
+            static_cast<unsigned>(rng_.nextBelow(bits - len + 1));
+        rec.detail = bit | (static_cast<std::uint64_t>(len) << 16);
+        return rec.combo.site == FaultSite::DataCiphertext
+                   ? oracle_.flipCiphertext(blk, bit, len)
+                   : oracle_.flipMac(blk, bit, len);
+    }
+    case FaultKind::StaleReplay: {
+        // Replays need a block that was genuinely re-stored (rewritten
+        // or re-encrypted): sample for one with a distinct prior image.
+        const auto &written = oracle_.writtenBlocks();
+        addr::BlockId target = blk;
+        for (unsigned attempt = 0;
+             attempt < 64 && !oracle_.hasDistinctPrevData(target);
+             ++attempt)
+            target = written[rng_.nextBelow(written.size())];
+        if (!oracle_.hasDistinctPrevData(target)) {
+            rec.note = "no distinct previous image stored";
+            return false;
+        }
+        rec.readback_block = target;
+        rec.unit = target;
+        return oracle_.replayData(target);
+    }
+    case FaultKind::CounterRollback:
+        break; // not a data-site kind (comboValid excludes it)
+    }
+    return false;
+}
+
+bool
+Injector::injectNode(FaultRecord &rec,
+                     const std::vector<addr::CounterBlockId> &path)
+{
+    const ctr::IntegrityTree &tree = oracle_.tree();
+    unsigned level = 0;
+    if (rec.combo.site == FaultSite::TreeNode) {
+        if (tree.levels() < 2) {
+            rec.note = "integrity tree has a single in-memory level";
+            return false;
+        }
+        level = 1 + static_cast<unsigned>(
+                        rng_.nextBelow(tree.levels() - 1));
+    }
+    const addr::CounterBlockId cb = path[level];
+    rec.level = level;
+    rec.unit = cb;
+    // Half the value perturbations land on the entry the readback path
+    // actually decodes (exercising counter-as-OTP-input detection), half
+    // on a random entry of the block (exercising whole-image MACing).
+    const std::uint64_t entries = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(tree.level(level).coverage(),
+                                   tree.level(level).entities() -
+                                       cb * tree.level(level).coverage()));
+    const unsigned entry =
+        rng_.nextBool(0.5)
+            ? onPathEntry(rec.readback_block, path, level)
+            : static_cast<unsigned>(rng_.nextBelow(entries));
+
+    switch (rec.combo.kind) {
+    case FaultKind::BitFlip: {
+        const auto bit = static_cast<unsigned>(rng_.nextBelow(56));
+        rec.detail = bit | (static_cast<std::uint64_t>(entry) << 32);
+        return oracle_.flipNodeValue(level, cb, entry, bit, 1);
+    }
+    case FaultKind::BurstFlip: {
+        const auto len = static_cast<unsigned>(rng_.nextInRange(2, 8));
+        const auto bit =
+            static_cast<unsigned>(rng_.nextBelow(56 - len + 1));
+        rec.detail = bit | (static_cast<std::uint64_t>(len) << 16) |
+                     (static_cast<std::uint64_t>(entry) << 32);
+        return oracle_.flipNodeValue(level, cb, entry, bit, len);
+    }
+    case FaultKind::CounterRollback: {
+        const std::uint64_t delta = rng_.nextInRange(1, 4096);
+        rec.detail = delta | (static_cast<std::uint64_t>(entry) << 32);
+        if (!oracle_.rollbackNodeValue(level, cb, entry, delta)) {
+            rec.note = "counter already at zero";
+            return false;
+        }
+        return true;
+    }
+    case FaultKind::StaleReplay: {
+        // Sample for a path node at this level that was genuinely
+        // re-stored, then aim the readback at an entry the replay
+        // staled (a read elsewhere in the block would honestly mask).
+        const auto &written = oracle_.writtenBlocks();
+        addr::BlockId target = rec.readback_block;
+        addr::CounterBlockId rcb = cb;
+        for (unsigned attempt = 0;
+             attempt < 64 && !oracle_.hasDistinctPrevNode(level, rcb);
+             ++attempt) {
+            target = written[rng_.nextBelow(written.size())];
+            oracle_.materializePath(target);
+            rcb = pathOf(target)[level];
+        }
+        rec.unit = rcb;
+        rec.readback_block = target;
+        if (!oracle_.replayNode(level, rcb)) {
+            rec.note = "no distinct previous image stored";
+            return false;
+        }
+        if (const auto *stored = oracle_.storedNodeValues(level, rcb)) {
+            const auto truth = tree.level(level).blockValues(rcb);
+            const std::uint64_t n =
+                std::min<std::uint64_t>(stored->size(), truth.size());
+            const std::uint64_t off = n ? rng_.nextBelow(n) : 0;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const std::uint64_t slot = (off + i) % n;
+                if ((*stored)[slot] == truth[slot])
+                    continue;
+                if (const auto b =
+                        oracle_.coveredWrittenBlock(level, rcb, slot)) {
+                    rec.readback_block = *b;
+                    break;
+                }
+            }
+        }
+        return true;
+    }
+    }
+    return false;
+}
+
+bool
+Injector::injectMemo(FaultRecord &rec)
+{
+    if (memo_ == nullptr) {
+        rec.note = "memoization disabled";
+        return false;
+    }
+    // Find a written block whose stored L0 counter value is currently
+    // memoized, so the readback actually consults the corrupted entry.
+    const auto &written = oracle_.writtenBlocks();
+    for (unsigned attempt = 0; attempt < 64; ++attempt) {
+        const addr::BlockId blk =
+            written[rng_.nextBelow(written.size())];
+        const addr::CounterValue val = oracle_.storedL0Value(blk);
+        if (!memo_->contains(val))
+            continue;
+        const auto bit = static_cast<unsigned>(rng_.nextBelow(56));
+        const addr::CounterValue perturbed = val ^ (1ULL << bit);
+        if (!oracle_.corruptMemoValue(val, perturbed))
+            continue;
+        rec.readback_block = blk;
+        rec.unit = val;
+        rec.detail = bit;
+        return true;
+    }
+    rec.note = "no memoized counter value on any sampled path";
+    return false;
+}
+
+} // namespace rmcc::fault

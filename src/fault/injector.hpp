@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Seeded fault injector: turns a declarative FaultPlan into concrete
+ * perturbations of the oracle's stored images.
+ *
+ * Every choice — target block, tree level, entry, bit position, burst
+ * length, rollback distance — comes from one util::Rng, so a campaign is
+ * reproducible from its seed.  Targets are drawn from the oracle's
+ * insertion-ordered written-block list, never from hash-map iteration
+ * order, for the same reason.
+ */
+#ifndef RMCC_FAULT_INJECTOR_HPP
+#define RMCC_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+
+#include "core/memo_table.hpp"
+#include "fault/oracle.hpp"
+#include "fault/plan.hpp"
+#include "util/rng.hpp"
+
+namespace rmcc::fault
+{
+
+/**
+ * Applies one planned fault at a time, cycling the plan's (site, kind)
+ * combos round-robin.
+ */
+class Injector
+{
+  public:
+    /** Oracle and plan are borrowed and must outlive the injector. */
+    Injector(DetectionOracle &oracle, const FaultPlan &plan);
+
+    /** Aim MemoEntry faults at this table (nullptr = skip that site). */
+    void setMemoTable(const core::MemoTable *table) { memo_ = table; }
+
+    /**
+     * Inject the next planned fault.  Returns true when a fault was
+     * armed in the oracle (classify it with classifyPending); false when
+     * the fault could not perturb anything and was recorded immediately
+     * as Masked with an explanatory note.
+     */
+    bool injectOne();
+
+  private:
+    /** Counter blocks on blk's path, bottom-up. */
+    std::vector<addr::CounterBlockId> pathOf(addr::BlockId blk) const;
+    /** The entry index of blk's path within the level-k path node. */
+    unsigned onPathEntry(addr::BlockId blk,
+                         const std::vector<addr::CounterBlockId> &path,
+                         unsigned level) const;
+
+    bool injectData(FaultRecord &rec);
+    bool injectNode(FaultRecord &rec,
+                    const std::vector<addr::CounterBlockId> &path);
+    bool injectMemo(FaultRecord &rec);
+
+    DetectionOracle &oracle_;
+    const FaultPlan &plan_;
+    const core::MemoTable *memo_ = nullptr;
+    util::Rng rng_;
+    std::uint64_t cursor_ = 0; //!< Round-robin position in plan combos.
+};
+
+} // namespace rmcc::fault
+
+#endif // RMCC_FAULT_INJECTOR_HPP

@@ -1,0 +1,110 @@
+#include "fault/plan.hpp"
+
+namespace rmcc::fault
+{
+
+const char *
+siteName(FaultSite s)
+{
+    switch (s) {
+    case FaultSite::DataCiphertext: return "data-ct";
+    case FaultSite::DataMac: return "data-mac";
+    case FaultSite::L0Counter: return "l0-ctr";
+    case FaultSite::TreeNode: return "tree-node";
+    case FaultSite::MemoEntry: return "memo-entry";
+    }
+    return "?";
+}
+
+const char *
+kindName(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::BitFlip: return "bit-flip";
+    case FaultKind::BurstFlip: return "burst";
+    case FaultKind::CounterRollback: return "rollback";
+    case FaultKind::StaleReplay: return "replay";
+    }
+    return "?";
+}
+
+const char *
+outcomeName(FaultOutcome o)
+{
+    switch (o) {
+    case FaultOutcome::Pending: return "pending";
+    case FaultOutcome::Detected: return "detected";
+    case FaultOutcome::Masked: return "masked";
+    case FaultOutcome::Silent: return "SILENT";
+    }
+    return "?";
+}
+
+bool
+comboValid(FaultSite site, FaultKind kind)
+{
+    switch (site) {
+    case FaultSite::DataCiphertext:
+        return kind != FaultKind::CounterRollback;
+    case FaultSite::DataMac:
+        return kind == FaultKind::BitFlip || kind == FaultKind::BurstFlip;
+    case FaultSite::L0Counter:
+    case FaultSite::TreeNode:
+        return true;
+    case FaultSite::MemoEntry:
+        return kind == FaultKind::BitFlip;
+    }
+    return false;
+}
+
+std::vector<FaultCombo>
+allCombos()
+{
+    std::vector<FaultCombo> combos;
+    for (unsigned s = 0; s < kSiteCount; ++s)
+        for (unsigned k = 0; k < kKindCount; ++k)
+            if (comboValid(static_cast<FaultSite>(s),
+                           static_cast<FaultKind>(k)))
+                combos.push_back({static_cast<FaultSite>(s),
+                                  static_cast<FaultKind>(k)});
+    return combos;
+}
+
+void
+FaultStats::add(const FaultRecord &rec)
+{
+    ++injected;
+    if (rec.outcome == FaultOutcome::Pending)
+        return; // callers classify before recording; guard anyway
+    const auto s = static_cast<unsigned>(rec.combo.site);
+    const auto k = static_cast<unsigned>(rec.combo.kind);
+    const auto o = static_cast<unsigned>(rec.outcome) -
+                   static_cast<unsigned>(FaultOutcome::Detected);
+    ++counts[s][k][o];
+}
+
+std::uint64_t
+FaultStats::total(FaultOutcome o) const
+{
+    const auto idx = static_cast<unsigned>(o) -
+                     static_cast<unsigned>(FaultOutcome::Detected);
+    std::uint64_t sum = 0;
+    for (const auto &per_site : counts)
+        for (const auto &per_kind : per_site)
+            sum += per_kind[idx];
+    return sum;
+}
+
+void
+FaultStats::merge(const FaultStats &other)
+{
+    for (unsigned s = 0; s < kSiteCount; ++s)
+        for (unsigned k = 0; k < kKindCount; ++k)
+            for (unsigned o = 0; o < 3; ++o)
+                counts[s][k][o] += other.counts[s][k][o];
+    injected += other.injected;
+    reads_verified += other.reads_verified;
+    unexpected_failures += other.unexpected_failures;
+}
+
+} // namespace rmcc::fault

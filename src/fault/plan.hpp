@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fault model vocabulary: where a fault lands (site), what it does
+ * (kind), and how the detection layer classified it (outcome), plus the
+ * declarative FaultPlan a campaign executes.
+ *
+ * The threat model is the SGX MEE's: everything off-chip — data
+ * ciphertext, MACs, and stored counter blocks at every integrity-tree
+ * level — may be corrupted, rolled back, or replayed by an attacker (or
+ * by plain DRAM faults).  The memoization table is on-chip, but RMCC's
+ * whole argument rests on memoized values being bit-equivalent to the
+ * recomputed ones, so memo entries are a site too: a perturbed entry
+ * must surface as a MAC mismatch, never as silently wrong plaintext.
+ */
+#ifndef RMCC_FAULT_PLAN_HPP
+#define RMCC_FAULT_PLAN_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "address/types.hpp"
+
+namespace rmcc::fault
+{
+
+/** Where the perturbation lands. */
+enum class FaultSite : unsigned
+{
+    DataCiphertext, //!< Stored 64 B data ciphertext.
+    DataMac,        //!< Stored 56-bit data MAC.
+    L0Counter,      //!< A value in the level-0 counter block of the path.
+    TreeNode,       //!< A value in a level>=1 counter block of the path.
+    MemoEntry,      //!< A memoized counter value consulted on a hit.
+};
+constexpr unsigned kSiteCount = 5;
+
+/** What the perturbation does. */
+enum class FaultKind : unsigned
+{
+    BitFlip,         //!< Single-bit flip.
+    BurstFlip,       //!< Contiguous multi-bit burst (2..8 bits).
+    CounterRollback, //!< Stored counter value decreased.
+    StaleReplay,     //!< Whole stored unit replaced by an older version.
+};
+constexpr unsigned kKindCount = 4;
+
+/** How the detection layer classified an injected fault. */
+enum class FaultOutcome : unsigned
+{
+    Pending,  //!< Injected, readback not performed yet.
+    Detected, //!< A MAC/tree check along the readback path failed.
+    Masked,   //!< Perturbation did not change any authenticated value.
+    Silent,   //!< All checks passed but wrong plaintext was delivered.
+};
+
+const char *siteName(FaultSite s);
+const char *kindName(FaultKind k);
+const char *outcomeName(FaultOutcome o);
+
+/** One (site, kind) cell of the fault matrix. */
+struct FaultCombo
+{
+    FaultSite site = FaultSite::DataCiphertext;
+    FaultKind kind = FaultKind::BitFlip;
+};
+
+/** Whether a kind is meaningful at a site (no rollback of ciphertext). */
+bool comboValid(FaultSite site, FaultKind kind);
+
+/** Every valid (site, kind) pair, in a fixed enumeration order. */
+std::vector<FaultCombo> allCombos();
+
+/** Declarative description of one injection campaign. */
+struct FaultPlan
+{
+    std::uint64_t injections = 1000; //!< Faults to inject in total.
+    std::uint64_t seed = 0x5eed;     //!< Drives every random choice.
+    std::uint64_t gap_records = 8;   //!< Records between injections.
+    std::vector<FaultCombo> combos = allCombos(); //!< Cycled round-robin.
+};
+
+/** One injected fault: what was perturbed and what came of it. */
+struct FaultRecord
+{
+    FaultCombo combo;
+    addr::BlockId readback_block = 0; //!< Data block whose read classifies.
+    unsigned level = 0;               //!< Tree level for counter sites.
+    std::uint64_t unit = 0;           //!< Perturbed block / node id.
+    std::uint64_t detail = 0;         //!< Bit index, burst length, delta...
+    FaultOutcome outcome = FaultOutcome::Pending;
+    std::string note;                 //!< Why masked / where detected.
+};
+
+/** Aggregated campaign results, indexed by (site, kind, outcome). */
+struct FaultStats
+{
+    //! counts[site][kind][outcome - Detected].
+    std::array<std::array<std::array<std::uint64_t, 3>, kKindCount>,
+               kSiteCount>
+        counts{};
+    std::uint64_t injected = 0;
+    std::uint64_t reads_verified = 0; //!< Oracle verifications performed.
+    //! Verification failures with no fault armed: an oracle/model bug.
+    std::uint64_t unexpected_failures = 0;
+
+    void add(const FaultRecord &rec);
+    std::uint64_t total(FaultOutcome o) const;
+    std::uint64_t detected() const { return total(FaultOutcome::Detected); }
+    std::uint64_t masked() const { return total(FaultOutcome::Masked); }
+    std::uint64_t silent() const { return total(FaultOutcome::Silent); }
+    /** Fold another campaign's counts into this one. */
+    void merge(const FaultStats &other);
+};
+
+} // namespace rmcc::fault
+
+#endif // RMCC_FAULT_PLAN_HPP

@@ -247,6 +247,8 @@ SecureMc::read(addr::Addr paddr, double now_ns)
     }
 
     stats_.inc("lat.read_sum_ns", res.done_ns - now_ns);
+    if (observer_)
+        observer_->onDataRead(blk, res.memo_hit);
     return res;
 }
 
@@ -278,6 +280,8 @@ SecureMc::write(addr::Addr paddr, double now_ns)
     // Encrypt + write the data (posted; OTP generation is off the
     // critical path because the counter is already in the MC).
     chargeDram(paddr, true, now_ns, "data_write");
+    if (observer_)
+        observer_->onDataWrite(blk);
     return stall;
 }
 

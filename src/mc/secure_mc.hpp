@@ -30,6 +30,28 @@ struct McConfig
     LatencyConfig lat;
 };
 
+/**
+ * Observer of the controller's data-plane events, called synchronously
+ * from read()/write() on secure systems.  The fault layer's
+ * DetectionOracle implements this to shadow every block the controller
+ * stores and to re-derive the MAC/tree verdict on every read; attaching
+ * nothing costs nothing.
+ */
+class McObserver
+{
+  public:
+    virtual ~McObserver() = default;
+
+    /** Data block blk was (re-)encrypted and written, counter bumped. */
+    virtual void onDataWrite(addr::BlockId blk) = 0;
+
+    /**
+     * Data block blk was read and decrypted.
+     * @param memo_hit the L0 counter value came from the memo table.
+     */
+    virtual void onDataRead(addr::BlockId blk, bool memo_hit) = 0;
+};
+
 /** Core-visible outcome of one LLC-miss read. */
 struct McReadResult
 {
@@ -70,6 +92,13 @@ class SecureMc
     const cache::SetAssocCache &counterCache() const { return ctr_cache_; }
     const OverflowEngine &overflowEngine() const { return ovf_; }
 
+    /**
+     * Attach (or detach, with nullptr) a data-plane observer.  Only
+     * meaningful on secure systems; the observer must outlive its
+     * attachment.
+     */
+    void attachObserver(McObserver *observer) { observer_ = observer; }
+
   private:
     /** One DRAM transfer with category accounting and epoch advance. */
     double chargeDram(addr::Addr a, bool is_write, double now_ns,
@@ -102,6 +131,7 @@ class SecureMc
     cache::SetAssocCache ctr_cache_;
     OverflowEngine ovf_;
     util::StatSet stats_;
+    McObserver *observer_ = nullptr;
 };
 
 } // namespace rmcc::mc

@@ -1,18 +1,51 @@
 #include "sim/experiments.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <tuple>
 
+#include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rmcc::sim
 {
 
+namespace detail
+{
+std::function<void(const std::string &, const std::string &)>
+    cell_fault_hook;
+} // namespace detail
+
 namespace
 {
+
+/** Labeled empty result standing in for a cell that never completed. */
+SimResult
+placeholderResult(const std::string &workload_name, const NamedConfig &nc)
+{
+    SimResult r;
+    r.workload = workload_name;
+    r.config_label = nc.label;
+    return r;
+}
+
+/** Mark every cell of a row failed (e.g. its trace never generated). */
+void
+failWholeRow(SuiteRow &row, const std::vector<NamedConfig> &configs,
+             const std::string &error)
+{
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        row.results[c] = placeholderResult(row.workload, configs[c]);
+        row.statuses[c].state = CellState::Failed;
+        row.statuses[c].attempts = 0;
+        row.statuses[c].error = error;
+    }
+}
 
 /**
  * The shared trace is generated from the FIRST configuration's record
@@ -40,6 +73,17 @@ validateTraceShape(const std::vector<NamedConfig> &configs)
 
 } // namespace
 
+const char *
+cellStateName(CellState s)
+{
+    switch (s) {
+    case CellState::Ok: return "ok";
+    case CellState::Failed: return "failed";
+    case CellState::TimedOut: return "timed-out";
+    }
+    return "?";
+}
+
 unsigned
 suiteJobs()
 {
@@ -57,6 +101,58 @@ runOne(const std::string &workload_name, const trace::TraceBuffer &trace,
     return r;
 }
 
+std::pair<SimResult, CellStatus>
+runCellGuarded(const std::string &workload_name,
+               const trace::TraceBuffer &trace, const NamedConfig &nc)
+{
+    // Env policy is read outside the guard: a malformed variable is a
+    // caller error and must fail loudly, not be recorded as a cell
+    // failure.  Retries rerun the identical cell — a fresh rig from the
+    // same seed — so a retried flaky cell reports the same numbers a
+    // clean first run would.
+    const std::uint64_t retries = std::min<std::uint64_t>(
+        util::envUnsignedOr("RMCC_CELL_RETRIES", 1), 16);
+    const std::uint64_t timeout_ms =
+        util::envUnsignedOr("RMCC_CELL_TIMEOUT_MS", 0);
+
+    CellStatus st;
+    for (std::uint64_t attempt = 0; attempt <= retries; ++attempt) {
+        st.attempts = static_cast<unsigned>(attempt + 1);
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            if (detail::cell_fault_hook)
+                detail::cell_fault_hook(workload_name, nc.label);
+            SimResult r = runOne(workload_name, trace, nc);
+            st.elapsed_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            st.state = CellState::Ok;
+            // Simulations cannot be preempted safely mid-flight, so the
+            // timeout is detect-and-flag: the (valid) result is kept and
+            // the overrun recorded for the caller to act on.
+            if (timeout_ms > 0 &&
+                st.elapsed_ms > static_cast<double>(timeout_ms)) {
+                st.state = CellState::TimedOut;
+                st.error = "cell took " + std::to_string(st.elapsed_ms) +
+                           " ms (RMCC_CELL_TIMEOUT_MS=" +
+                           std::to_string(timeout_ms) + ")";
+            }
+            return {std::move(r), std::move(st)};
+        } catch (const std::exception &e) {
+            st.state = CellState::Failed;
+            st.error = e.what();
+        } catch (...) {
+            st.state = CellState::Failed;
+            st.error = "unknown exception";
+        }
+        st.elapsed_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    }
+    return {placeholderResult(workload_name, nc), std::move(st)};
+}
+
 SuiteRow
 runWorkload(const wl::Workload &w, const std::vector<NamedConfig> &configs)
 {
@@ -64,17 +160,28 @@ runWorkload(const wl::Workload &w, const std::vector<NamedConfig> &configs)
     SuiteRow row;
     row.workload = w.name;
     row.results.resize(configs.size());
-    const trace::TraceBuffer trace = wl::generateTrace(
-        w, configs.front().cfg.trace_records, configs.front().cfg.seed);
+    row.statuses.resize(configs.size());
+    std::optional<trace::TraceBuffer> trace;
+    try {
+        trace.emplace(wl::generateTrace(w,
+                                        configs.front().cfg.trace_records,
+                                        configs.front().cfg.seed));
+    } catch (const std::exception &e) {
+        failWholeRow(row, configs,
+                     std::string("trace generation failed: ") + e.what());
+        return row;
+    }
     const unsigned jobs = suiteJobs();
     if (jobs <= 1 || configs.size() <= 1) {
         for (std::size_t c = 0; c < configs.size(); ++c)
-            row.results[c] = runOne(w.name, trace, configs[c]);
+            std::tie(row.results[c], row.statuses[c]) =
+                runCellGuarded(w.name, *trace, configs[c]);
         return row;
     }
     util::ThreadPool pool(jobs);
     util::parallelFor(pool, configs.size(), [&](std::size_t c) {
-        row.results[c] = runOne(w.name, trace, configs[c]);
+        std::tie(row.results[c], row.statuses[c]) =
+            runCellGuarded(w.name, *trace, configs[c]);
     });
     return row;
 }
@@ -104,6 +211,7 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
     for (std::size_t i = 0; i < n_wl; ++i) {
         rows[i].workload = suite[i].name;
         rows[i].results.resize(n_cfg);
+        rows[i].statuses.resize(n_cfg);
     }
 
     util::ThreadPool pool(jobs);
@@ -114,12 +222,21 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
     wl::sharedGraph();
 
     // Phase 1: one trace per workload, generated in parallel and then
-    // shared immutably by every configuration of that workload.
+    // shared immutably by every configuration of that workload.  A
+    // workload whose generator throws loses only its own row.
     std::vector<std::optional<trace::TraceBuffer>> traces(n_wl);
+    std::vector<std::string> trace_errors(n_wl);
     util::parallelFor(pool, n_wl, [&](std::size_t i) {
-        traces[i].emplace(wl::generateTrace(
-            suite[i], configs.front().cfg.trace_records,
-            configs.front().cfg.seed));
+        try {
+            traces[i].emplace(wl::generateTrace(
+                suite[i], configs.front().cfg.trace_records,
+                configs.front().cfg.seed));
+        } catch (const std::exception &e) {
+            trace_errors[i] =
+                std::string("trace generation failed: ") + e.what();
+        } catch (...) {
+            trace_errors[i] = "trace generation failed: unknown exception";
+        }
     });
 
     // Phase 2: every (workload, config) cell is an independent task.
@@ -132,7 +249,16 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
     util::parallelFor(pool, n_wl * n_cfg, [&](std::size_t t) {
         const std::size_t w = t / n_cfg;
         const std::size_t c = t % n_cfg;
-        rows[w].results[c] = runOne(suite[w].name, *traces[w], configs[c]);
+        if (!traces[w]) {
+            rows[w].results[c] =
+                placeholderResult(suite[w].name, configs[c]);
+            rows[w].statuses[c].state = CellState::Failed;
+            rows[w].statuses[c].attempts = 0;
+            rows[w].statuses[c].error = trace_errors[w];
+        } else {
+            std::tie(rows[w].results[c], rows[w].statuses[c]) =
+                runCellGuarded(suite[w].name, *traces[w], configs[c]);
+        }
         if (progress &&
             cells_done[w].fetch_add(1, std::memory_order_acq_rel) + 1 ==
                 n_cfg)

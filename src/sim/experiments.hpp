@@ -16,6 +16,7 @@
 #define RMCC_SIM_EXPERIMENTS_HPP
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/functional_sim.hpp"
@@ -32,11 +33,48 @@ struct NamedConfig
     SystemConfig cfg;
 };
 
+/** Terminal state of one (workload, config) cell. */
+enum class CellState
+{
+    Ok,       //!< Produced a result (possibly after retries).
+    Failed,   //!< Every attempt threw; the result slot is a placeholder.
+    TimedOut, //!< Completed, but slower than RMCC_CELL_TIMEOUT_MS.
+};
+
+/** Human-readable cell-state name ("ok" / "failed" / "timed-out"). */
+const char *cellStateName(CellState s);
+
+/**
+ * How one (workload, config) cell executed — distinct from what it
+ * measured.  A failed or timed-out cell never aborts the suite: its
+ * status carries the error while every other cell's results survive.
+ */
+struct CellStatus
+{
+    CellState state = CellState::Ok;
+    unsigned attempts = 1;   //!< Runs performed (1 + retries used).
+    double elapsed_ms = 0.0; //!< Wall clock of the last attempt.
+    std::string error;       //!< what() of the last failure, if any.
+
+    bool ok() const { return state == CellState::Ok; }
+    bool retried() const { return attempts > 1; }
+};
+
 /** Results for one workload under each configuration (config order). */
 struct SuiteRow
 {
     std::string workload;
     std::vector<SimResult> results;
+    std::vector<CellStatus> statuses; //!< Parallel to results.
+
+    /** Every cell of the row ran to completion? */
+    bool allOk() const
+    {
+        for (const CellStatus &s : statuses)
+            if (!s.ok())
+                return false;
+        return true;
+    }
 };
 
 /**
@@ -57,9 +95,18 @@ using ProgressFn = std::function<void(const std::string &workload)>;
  * run as independent thread-pool tasks; rows come back in suite order
  * either way.
  *
+ * Cells are failure-isolated: a cell that throws is retried up to
+ * RMCC_CELL_RETRIES times (default 1) on a fresh rig, and if every
+ * attempt fails, its CellStatus records the error while the rest of the
+ * grid completes normally.  A cell slower than RMCC_CELL_TIMEOUT_MS
+ * (default 0 = disabled) keeps its result but is flagged TimedOut.  A
+ * workload whose trace generation fails has every cell of its row marked
+ * Failed.
+ *
  * @throws std::invalid_argument if the configurations disagree on the
  *         trace shape (trace_records / seed) — a silent mismatch would
- *         feed some configs a trace they did not ask for.
+ *         feed some configs a trace they did not ask for.  (Caller
+ *         errors are not failure-isolated; broken cells are.)
  */
 std::vector<SuiteRow> runSuite(const std::vector<NamedConfig> &configs,
                                const ProgressFn &progress = {});
@@ -78,6 +125,26 @@ unsigned suiteJobs();
 /** Dispatch one run by the configuration's mode. */
 SimResult runOne(const std::string &workload_name,
                  const trace::TraceBuffer &trace, const NamedConfig &nc);
+
+/**
+ * runOne with the suite runner's failure isolation: catch, retry per
+ * RMCC_CELL_RETRIES, flag per RMCC_CELL_TIMEOUT_MS.  On failure the
+ * returned SimResult is a labeled placeholder with empty stats.
+ */
+std::pair<SimResult, CellStatus>
+runCellGuarded(const std::string &workload_name,
+               const trace::TraceBuffer &trace, const NamedConfig &nc);
+
+namespace detail
+{
+/**
+ * Test seam: invoked with (workload, config label) at the start of every
+ * cell attempt.  Tests install a throwing hook to prove the runner
+ * isolates and records failing cells; empty in production.
+ */
+extern std::function<void(const std::string &, const std::string &)>
+    cell_fault_hook;
+} // namespace detail
 
 // --- standard configurations used across benches ------------------------
 

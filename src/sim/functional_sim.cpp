@@ -1,5 +1,6 @@
 #include "sim/functional_sim.hpp"
 
+#include "fault/campaign.hpp"
 #include "sim/rig.hpp"
 
 namespace rmcc::sim
@@ -9,8 +10,20 @@ SimResult
 runFunctional(const std::string &workload_name,
               const trace::TraceBuffer &trace, const SystemConfig &cfg)
 {
+    return runFunctional(workload_name, trace, cfg, nullptr);
+}
+
+SimResult
+runFunctional(const std::string &workload_name,
+              const trace::TraceBuffer &trace, const SystemConfig &cfg,
+              fault::FaultCampaign *campaign)
+{
     detail::SimRig rig(cfg);
     detail::preconditionRmcc(rig, cfg, trace);
+    if (campaign != nullptr && cfg.secure) {
+        campaign->bind(rig.tree, &rig.engine);
+        rig.mc.attachObserver(campaign->oracle());
+    }
 
     util::StatSet side; // simulator-side counters (TLB, LLC events)
     util::StatSet mc_at_warm, side_at_warm;
@@ -44,7 +57,11 @@ runFunctional(const std::string &workload_name,
             rig.mc.write(*h.memory_writeback, fake_now);
             fake_now += 20.0;
         }
+        if (campaign != nullptr && cfg.secure)
+            campaign->afterRecord();
     }
+    if (campaign != nullptr && cfg.secure)
+        rig.mc.attachObserver(nullptr);
 
     SimResult res;
     res.workload = workload_name;

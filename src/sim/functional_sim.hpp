@@ -12,6 +12,11 @@
 #include "sim/system_config.hpp"
 #include "trace/trace_buffer.hpp"
 
+namespace rmcc::fault
+{
+class FaultCampaign;
+}
+
 namespace rmcc::sim
 {
 
@@ -25,6 +30,19 @@ namespace rmcc::sim
 SimResult runFunctional(const std::string &workload_name,
                         const trace::TraceBuffer &trace,
                         const SystemConfig &cfg);
+
+/**
+ * Same, with a fault campaign riding along: the campaign's detection
+ * oracle observes the secure controller's data plane (verifying every
+ * read against its crypto-functional shadow) and the campaign injects
+ * and classifies faults as the trace advances.  Requires cfg.secure;
+ * the campaign must be fresh (its tree is the one being driven) and
+ * outlive the call.  Pass nullptr for a plain run.
+ */
+SimResult runFunctional(const std::string &workload_name,
+                        const trace::TraceBuffer &trace,
+                        const SystemConfig &cfg,
+                        fault::FaultCampaign *campaign);
 
 } // namespace rmcc::sim
 

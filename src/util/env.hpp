@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Strict environment-variable parsing for the RMCC_* knobs.
+ *
+ * The runner knobs (RMCC_JOBS, RMCC_CELL_RETRIES, ...) used to fall back
+ * silently when set to garbage, which turns a typo into an hours-long
+ * surprise (a suite quietly running single-threaded, retries quietly
+ * disabled).  These helpers reject malformed values loudly instead: a
+ * std::runtime_error naming the variable and the offending text.
+ */
+#ifndef RMCC_UTIL_ENV_HPP
+#define RMCC_UTIL_ENV_HPP
+
+#include <cstdint>
+#include <optional>
+
+namespace rmcc::util
+{
+
+/**
+ * Value of an integer environment variable.
+ *
+ * @return nullopt when the variable is unset or empty.
+ * @throws std::runtime_error when the value is not a plain non-negative
+ *         decimal integer (trailing junk, sign, overflow, "banana", ...);
+ *         the message names the variable and quotes the value.
+ */
+std::optional<std::uint64_t> envUnsigned(const char *name);
+
+/**
+ * envUnsigned() with a fallback for the unset/empty case.  Parsing errors
+ * still throw — only absence is defaulted.
+ */
+std::uint64_t envUnsignedOr(const char *name, std::uint64_t fallback);
+
+/**
+ * Positive-integer variant for knobs where zero makes no sense (thread
+ * counts).  Unset/empty returns nullopt; zero throws like garbage does.
+ */
+std::optional<std::uint64_t> envPositive(const char *name);
+
+} // namespace rmcc::util
+
+#endif // RMCC_UTIL_ENV_HPP

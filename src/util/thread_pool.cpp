@@ -1,7 +1,10 @@
 #include "util/thread_pool.hpp"
 
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "util/env.hpp"
 
 namespace rmcc::util
 {
@@ -42,11 +45,26 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
-    if (first_error_) {
-        std::exception_ptr err = std::exchange(first_error_, nullptr);
+    if (!errors_.empty()) {
+        std::exception_ptr first = errors_.front();
+        errors_.erase(errors_.begin());
         lock.unlock();
-        std::rethrow_exception(err);
+        std::rethrow_exception(first);
     }
+}
+
+void
+ThreadPool::waitAll()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::vector<std::exception_ptr>
+ThreadPool::takeErrors()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::exchange(errors_, {});
 }
 
 void
@@ -67,8 +85,7 @@ ThreadPool::workerLoop()
             job();
         } catch (...) {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (!first_error_)
-                first_error_ = std::current_exception();
+            errors_.push_back(std::current_exception());
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -81,11 +98,12 @@ ThreadPool::workerLoop()
 unsigned
 ThreadPool::envJobs()
 {
-    if (const char *env = std::getenv("RMCC_JOBS")) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
-            return static_cast<unsigned>(v);
+    if (const auto v = envPositive("RMCC_JOBS")) {
+        if (*v > 4096)
+            throw std::runtime_error(
+                "RMCC_JOBS: expected a sane thread count, got " +
+                std::to_string(*v));
+        return static_cast<unsigned>(*v);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -48,15 +49,33 @@ class ThreadPool
 
     /**
      * Block until every submitted job has finished.  If any job threw,
-     * the first captured exception is rethrown here (the remaining jobs
-     * still run to completion).
+     * the first captured exception is rethrown here and the rest stay
+     * retrievable via takeErrors() (the remaining jobs still run to
+     * completion).
      */
     void wait();
 
     /**
-     * Job-count policy: the RMCC_JOBS environment variable when set to a
-     * positive integer, otherwise std::thread::hardware_concurrency()
-     * (and 1 when even that is unknown).
+     * Block until every submitted job has finished, without rethrowing.
+     * Callers that must survive failing jobs (the hardened suite runner)
+     * use this and then inspect takeErrors().
+     */
+    void waitAll();
+
+    /**
+     * Every exception captured from jobs since the last wait()/
+     * takeErrors(), in completion order.  The internal list is cleared.
+     */
+    std::vector<std::exception_ptr> takeErrors();
+
+    /**
+     * Job-count policy: the RMCC_JOBS environment variable when set,
+     * otherwise std::thread::hardware_concurrency() (and 1 when even
+     * that is unknown).
+     *
+     * @throws std::runtime_error when RMCC_JOBS is set to anything but a
+     *         positive integer — a typo like RMCC_JOBS=banana used to
+     *         silently fall back and run at a surprise width.
      */
     static unsigned envJobs();
 
@@ -70,7 +89,7 @@ class ThreadPool
     std::condition_variable idle_cv_;
     std::size_t in_flight_ = 0; //!< Jobs queued or currently running.
     bool stop_ = false;
-    std::exception_ptr first_error_;
+    std::vector<std::exception_ptr> errors_; //!< All captured job errors.
 };
 
 /**

@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -227,6 +229,19 @@ Graph::powerLawCached(std::uint64_t vertices, std::uint64_t edges,
 
     const char *dir = std::getenv("RMCC_GRAPH_CACHE_DIR");
     std::string path = (dir && *dir) ? dir : "/tmp";
+    if (dir && *dir) {
+        std::error_code ec;
+        if (!std::filesystem::is_directory(path, ec)) {
+            // The cache is an optimization, so a bad directory must not
+            // abort the run — but silently building uncached every time
+            // hides a misconfiguration, so say why.
+            std::fprintf(stderr,
+                         "RMCC_GRAPH_CACHE_DIR='%s' is not a directory; "
+                         "graph cache disabled for this run\n",
+                         path.c_str());
+            return powerLaw(vertices, edges, zipf_exponent, seed);
+        }
+    }
     char name[128];
     std::snprintf(name, sizeof name,
                   "/rmcc_graph_v%llu_%llx_%llx_%llx_%llx.bin",

@@ -182,6 +182,172 @@ TEST(SuiteRunner, ProgressReportsEveryWorkloadOnce)
     EXPECT_EQ(reported, expected);
 }
 
+namespace
+{
+
+/** RAII installer for the per-cell fault hook (always restores empty). */
+struct HookGuard
+{
+    explicit HookGuard(
+        std::function<void(const std::string &, const std::string &)> h)
+    {
+        detail::cell_fault_hook = std::move(h);
+    }
+    ~HookGuard() { detail::cell_fault_hook = nullptr; }
+};
+
+std::vector<NamedConfig>
+tinyConfigs()
+{
+    std::vector<NamedConfig> configs = {
+        nonSecureConfig(SimMode::Timing),
+        rmccConfig(SimMode::Timing),
+    };
+    for (auto &nc : configs) {
+        nc.cfg.trace_records = 5000;
+        nc.cfg.warmup_records = 2500;
+    }
+    return configs;
+}
+
+} // namespace
+
+TEST(SuiteRunner, FailingCellIsIsolatedAndRecorded)
+{
+    // One (workload, config) cell that always throws must not take the
+    // suite down: every other cell still produces results, and the
+    // broken cell's status carries the error and the attempt count.
+    setenv("RMCC_CELL_RETRIES", "2", 1);
+    const std::vector<NamedConfig> configs = tinyConfigs();
+    HookGuard guard([](const std::string &w, const std::string &label) {
+        if (w == "omnetpp" && label == "RMCC")
+            throw std::runtime_error("induced cell fault");
+    });
+    for (unsigned jobs : {1u, 4u}) {
+        setenv("RMCC_JOBS", std::to_string(jobs).c_str(), 1);
+        const std::vector<SuiteRow> rows = runSuite(configs);
+        ASSERT_EQ(rows.size(), wl::workloadSuite().size());
+        std::size_t failed = 0;
+        for (const SuiteRow &row : rows) {
+            ASSERT_EQ(row.statuses.size(), configs.size());
+            for (std::size_t c = 0; c < configs.size(); ++c) {
+                const CellStatus &st = row.statuses[c];
+                if (row.workload == "omnetpp" &&
+                    configs[c].label == "RMCC") {
+                    ++failed;
+                    EXPECT_EQ(st.state, CellState::Failed);
+                    EXPECT_EQ(st.attempts, 3u); // 1 + RMCC_CELL_RETRIES
+                    EXPECT_NE(st.error.find("induced cell fault"),
+                              std::string::npos);
+                    EXPECT_FALSE(row.allOk());
+                    // The placeholder result keeps the grid rectangular.
+                    EXPECT_EQ(row.results[c].config_label, "RMCC");
+                    EXPECT_EQ(row.results[c].instructions, 0u);
+                } else {
+                    EXPECT_TRUE(st.ok())
+                        << row.workload << "/" << configs[c].label
+                        << ": " << st.error;
+                    EXPECT_EQ(st.attempts, 1u);
+                    EXPECT_GT(row.results[c].instructions, 0u);
+                }
+            }
+        }
+        EXPECT_EQ(failed, 1u) << "jobs=" << jobs;
+    }
+    unsetenv("RMCC_JOBS");
+    unsetenv("RMCC_CELL_RETRIES");
+}
+
+TEST(SuiteRunner, TransientCellFaultIsRetriedToSuccess)
+{
+    setenv("RMCC_CELL_RETRIES", "3", 1);
+    setenv("RMCC_JOBS", "1", 1); // serial: the hook counter is unguarded
+    const std::vector<NamedConfig> configs = tinyConfigs();
+    int throws_left = 2;
+    HookGuard guard([&](const std::string &, const std::string &) {
+        if (throws_left > 0) {
+            --throws_left;
+            throw std::runtime_error("transient");
+        }
+    });
+    const auto *w = wl::findWorkload("omnetpp");
+    const SuiteRow row = runWorkload(*w, configs);
+    ASSERT_EQ(row.statuses.size(), 2u);
+    // With jobs unset the serial path runs cells in order: the first
+    // cell eats both transient faults.
+    EXPECT_TRUE(row.allOk());
+    const unsigned total_attempts =
+        row.statuses[0].attempts + row.statuses[1].attempts;
+    EXPECT_EQ(total_attempts, 4u); // 2 wasted + 2 productive
+    EXPECT_TRUE(row.statuses[0].retried() || row.statuses[1].retried());
+    for (std::size_t c = 0; c < 2; ++c)
+        EXPECT_GT(row.results[c].instructions, 0u);
+    unsetenv("RMCC_JOBS");
+    unsetenv("RMCC_CELL_RETRIES");
+}
+
+TEST(SuiteRunner, ZeroRetriesFailsFast)
+{
+    setenv("RMCC_CELL_RETRIES", "0", 1);
+    const std::vector<NamedConfig> configs = tinyConfigs();
+    HookGuard guard([](const std::string &, const std::string &) {
+        throw std::runtime_error("always");
+    });
+    const auto *w = wl::findWorkload("omnetpp");
+    const SuiteRow row = runWorkload(*w, configs);
+    for (const CellStatus &st : row.statuses) {
+        EXPECT_EQ(st.state, CellState::Failed);
+        EXPECT_EQ(st.attempts, 1u);
+        EXPECT_FALSE(st.retried());
+    }
+    unsetenv("RMCC_CELL_RETRIES");
+}
+
+TEST(SuiteRunner, GarbageCellRetriesEnvThrows)
+{
+    // Runner knobs are caller contract, not cell behavior: garbage must
+    // abort loudly instead of being swallowed as a cell failure.
+    setenv("RMCC_CELL_RETRIES", "banana", 1);
+    const std::vector<NamedConfig> configs = tinyConfigs();
+    const auto *w = wl::findWorkload("omnetpp");
+    EXPECT_THROW(runWorkload(*w, configs), std::runtime_error);
+    unsetenv("RMCC_CELL_RETRIES");
+}
+
+TEST(SuiteRunner, TimeoutFlagsSlowCellButKeepsResult)
+{
+    // 1 ms is below any real cell's runtime, so every cell overruns:
+    // each must keep its (valid) result and be flagged TimedOut.
+    setenv("RMCC_CELL_TIMEOUT_MS", "1", 1);
+    const std::vector<NamedConfig> configs = tinyConfigs();
+    const auto *w = wl::findWorkload("omnetpp");
+    const SuiteRow row = runWorkload(*w, configs);
+    unsetenv("RMCC_CELL_TIMEOUT_MS");
+    for (std::size_t c = 0; c < row.statuses.size(); ++c) {
+        EXPECT_EQ(row.statuses[c].state, CellState::TimedOut);
+        EXPECT_EQ(row.statuses[c].attempts, 1u); // slow, not broken
+        EXPECT_GT(row.results[c].instructions, 0u);
+        EXPECT_GT(row.statuses[c].elapsed_ms, 1.0);
+    }
+    EXPECT_FALSE(row.allOk());
+    EXPECT_STREQ(cellStateName(row.statuses[0].state), "timed-out");
+}
+
+TEST(SuiteRunner, StatusesReportCleanRuns)
+{
+    const std::vector<NamedConfig> configs = tinyConfigs();
+    const auto *w = wl::findWorkload("omnetpp");
+    const SuiteRow row = runWorkload(*w, configs);
+    ASSERT_EQ(row.statuses.size(), configs.size());
+    EXPECT_TRUE(row.allOk());
+    for (const CellStatus &st : row.statuses) {
+        EXPECT_STREQ(cellStateName(st.state), "ok");
+        EXPECT_EQ(st.attempts, 1u);
+        EXPECT_TRUE(st.error.empty());
+        EXPECT_GT(st.elapsed_ms, 0.0);
+    }
+}
+
 TEST(SuiteRunner, SharedTraceAcrossConfigs)
 {
     // runWorkload generates one trace and feeds every configuration the

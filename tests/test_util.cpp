@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/bitvec.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -74,13 +75,69 @@ TEST(ThreadPool, EnvJobsParsesRmccJobs)
     EXPECT_EQ(ThreadPool::envJobs(), 3u);
     setenv("RMCC_JOBS", "1", 1);
     EXPECT_EQ(ThreadPool::envJobs(), 1u);
-    // Garbage or non-positive values fall back to hardware concurrency.
-    setenv("RMCC_JOBS", "zero", 1);
-    EXPECT_GE(ThreadPool::envJobs(), 1u);
+    // Garbage or non-positive values are rejected loudly: a typo used to
+    // silently fall back to hardware concurrency and run at a surprise
+    // width for hours.
+    setenv("RMCC_JOBS", "banana", 1);
+    EXPECT_THROW(ThreadPool::envJobs(), std::runtime_error);
+    setenv("RMCC_JOBS", "0", 1);
+    EXPECT_THROW(ThreadPool::envJobs(), std::runtime_error);
     setenv("RMCC_JOBS", "-2", 1);
-    EXPECT_GE(ThreadPool::envJobs(), 1u);
+    EXPECT_THROW(ThreadPool::envJobs(), std::runtime_error);
+    setenv("RMCC_JOBS", "3x", 1);
+    EXPECT_THROW(ThreadPool::envJobs(), std::runtime_error);
     unsetenv("RMCC_JOBS");
     EXPECT_GE(ThreadPool::envJobs(), 1u);
+}
+
+TEST(ThreadPool, TakeErrorsCapturesEveryFailure)
+{
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&ran, i] {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            if (i % 3 == 0)
+                throw std::runtime_error("job " + std::to_string(i));
+        });
+    pool.waitAll(); // must not throw
+    EXPECT_EQ(ran.load(), 10) << "failing jobs must not cancel the rest";
+    auto errs = pool.takeErrors();
+    EXPECT_EQ(errs.size(), 4u); // i = 0, 3, 6, 9
+    for (const std::exception_ptr &e : errs)
+        EXPECT_THROW(std::rethrow_exception(e), std::runtime_error);
+    // The list is cleared by takeErrors and stays empty after clean work.
+    EXPECT_TRUE(pool.takeErrors().empty());
+    pool.submit([] {});
+    pool.waitAll();
+    EXPECT_TRUE(pool.takeErrors().empty());
+}
+
+TEST(EnvParse, UnsignedAcceptsPlainDecimalOnly)
+{
+    setenv("RMCC_TEST_ENV", "42", 1);
+    EXPECT_EQ(envUnsigned("RMCC_TEST_ENV"), 42u);
+    EXPECT_EQ(envUnsignedOr("RMCC_TEST_ENV", 7), 42u);
+    setenv("RMCC_TEST_ENV", "0", 1);
+    EXPECT_EQ(envUnsigned("RMCC_TEST_ENV"), 0u);
+    EXPECT_THROW(envPositive("RMCC_TEST_ENV"), std::runtime_error);
+    unsetenv("RMCC_TEST_ENV");
+    EXPECT_EQ(envUnsigned("RMCC_TEST_ENV"), std::nullopt);
+    EXPECT_EQ(envUnsignedOr("RMCC_TEST_ENV", 7), 7u);
+    EXPECT_EQ(envPositive("RMCC_TEST_ENV"), std::nullopt);
+    setenv("RMCC_TEST_ENV", "", 1);
+    EXPECT_EQ(envUnsigned("RMCC_TEST_ENV"), std::nullopt);
+
+    for (const char *bad :
+         {"banana", "12banana", " 12", "12 ", "+5", "-5", "0x10",
+          "99999999999999999999999999"}) {
+        setenv("RMCC_TEST_ENV", bad, 1);
+        EXPECT_THROW(envUnsigned("RMCC_TEST_ENV"), std::runtime_error)
+            << "value '" << bad << "' should be rejected";
+        EXPECT_THROW(envUnsignedOr("RMCC_TEST_ENV", 7), std::runtime_error)
+            << "fallback must not mask garbage '" << bad << "'";
+    }
+    unsetenv("RMCC_TEST_ENV");
 }
 
 TEST(Rng, DeterministicForEqualSeeds)

@@ -12,6 +12,8 @@
 #include <fstream>
 #include <string>
 
+#include <unistd.h>
+
 #include "workloads/registry.hpp"
 
 using namespace rmcc;
@@ -120,6 +122,61 @@ TEST(Graph, DiskCacheRoundTripsAndSurvivesCorruption)
     EXPECT_EQ(off.offsets, base.offsets);
     EXPECT_EQ(off.edges, base.edges);
     unsetenv("RMCC_GRAPH_CACHE");
+    unsetenv("RMCC_GRAPH_CACHE_DIR");
+}
+
+TEST(Graph, DiskCacheRejectsTornWritesAndBadChecksums)
+{
+    const std::string dir =
+        ::testing::TempDir() + "rmcc_graph_torn_test";
+    const std::string cache_file =
+        dir + "/rmcc_graph_v1_3e8_1f40_3fe999999999999a_9.bin";
+    ASSERT_EQ(system(("rm -rf '" + dir + "' && mkdir -p '" + dir + "'")
+                         .c_str()),
+              0);
+    ASSERT_EQ(setenv("RMCC_GRAPH_CACHE_DIR", dir.c_str(), 1), 0);
+
+    const Graph base = Graph::powerLaw(1000, 8000, 0.8, 9);
+    (void)Graph::powerLawCached(1000, 8000, 0.8, 9); // populate
+    std::ifstream probe(cache_file, std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(probe.good());
+    const std::streamoff full_size = probe.tellg();
+    probe.close();
+
+    // Torn write: a crash mid-save leaves the CSR payload cut short.
+    // The loader must notice the missing bytes and rebuild.
+    ASSERT_EQ(truncate(cache_file.c_str(),
+                       static_cast<off_t>(full_size / 2)),
+              0);
+    const Graph torn = Graph::powerLawCached(1000, 8000, 0.8, 9);
+    EXPECT_EQ(torn.offsets, base.offsets);
+    EXPECT_EQ(torn.edges, base.edges);
+
+    // The rebuild above re-populated the cache; now flip one byte of the
+    // stored checksum (last header field) so header and payload disagree.
+    {
+        std::fstream f(cache_file,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        const std::streamoff checksum_off = 7 * 8; // 8th u64 field
+        f.seekg(checksum_off);
+        const int orig = f.get();
+        ASSERT_NE(orig, EOF);
+        f.seekp(checksum_off);
+        f.put(static_cast<char>(orig ^ 0x01));
+    }
+    const Graph badsum = Graph::powerLawCached(1000, 8000, 0.8, 9);
+    EXPECT_EQ(badsum.offsets, base.offsets);
+    EXPECT_EQ(badsum.edges, base.edges);
+
+    // A cache dir that is not a directory disables caching but must not
+    // break graph construction.
+    ASSERT_EQ(setenv("RMCC_GRAPH_CACHE_DIR",
+                     (dir + "/no/such/dir").c_str(), 1),
+              0);
+    const Graph nodir = Graph::powerLawCached(1000, 8000, 0.8, 9);
+    EXPECT_EQ(nodir.offsets, base.offsets);
+    EXPECT_EQ(nodir.edges, base.edges);
     unsetenv("RMCC_GRAPH_CACHE_DIR");
 }
 
