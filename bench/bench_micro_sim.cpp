@@ -1,0 +1,184 @@
+/**
+ * @file
+ * End-to-end simulator replay microbenchmark: generates one suite
+ * workload trace and replays it through the timing simulator, reporting
+ * host-side throughput (trace records/sec and simulated MC blocks/sec),
+ * plus the crypto-kernel rates under the active dispatch and the forced
+ * software path.  Results are written as machine-readable JSON
+ * (BENCH_3.json by default) for the CI perf-smoke job.
+ *
+ * Knobs (environment):
+ *   RMCC_BENCH_RECORDS  trace length (default 1000000)
+ *   RMCC_BENCH_REPS     timed replay repetitions (default 3)
+ *   RMCC_CRYPTO_IMPL    auto|hw|sw — which crypto path the replay uses
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "crypto/dispatch.hpp"
+#include "crypto/otp.hpp"
+#include "sim/experiments.hpp"
+#include "sim/timing_sim.hpp"
+#include "util/env.hpp"
+#include "workloads/registry.hpp"
+
+using namespace rmcc;
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Chained AES-128 encryptions per second under the current dispatch. */
+double
+aesBlocksPerSec()
+{
+    const crypto::Aes aes = crypto::Aes::fromSeed(1);
+    crypto::Block128 b = crypto::makeBlock(1, 2);
+    constexpr int kIters = 2000000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kIters; ++i)
+        b = aes.encrypt(b);
+    const double s = secondsSince(t0);
+    // Fold the result into an observable side effect so the chain cannot
+    // be optimized away.
+    volatile std::uint8_t sink = b[0];
+    (void)sink;
+    return kIters / s;
+}
+
+/** Chained 128-bit carry-less multiplies per second. */
+double
+clmulOpsPerSec()
+{
+    crypto::Block128 a = crypto::makeBlock(0x0123456789abcdefULL,
+                                           0xfedcba9876543210ULL);
+    const crypto::Block128 b =
+        crypto::makeBlock(0xdeadbeefULL, 0xcafebabeULL);
+    constexpr int kIters = 2000000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+        const crypto::U256 p = crypto::clmul128(a, b);
+        a[0] ^= static_cast<std::uint8_t>(p.limb[0]);
+    }
+    const double s = secondsSince(t0);
+    volatile std::uint8_t sink = a[0];
+    (void)sink;
+    return kIters / s;
+}
+
+/** Re-route the crypto dispatch to `impl` for the current process. */
+void
+forceImpl(const char *impl)
+{
+    setenv("RMCC_CRYPTO_IMPL", impl, 1);
+    crypto::reresolveCryptoDispatch();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_3.json";
+    const auto records = static_cast<std::size_t>(
+        util::envUnsignedOr("RMCC_BENCH_RECORDS", 1000000));
+    const int reps =
+        static_cast<int>(util::envUnsignedOr("RMCC_BENCH_REPS", 3));
+    const auto bench_t0 = Clock::now();
+
+    // --- Replay: one deterministic suite workload through runTiming.
+    sim::NamedConfig nc = sim::rmccConfig(sim::SimMode::Timing);
+    nc.cfg.trace_records = records;
+    nc.cfg.warmup_records = records / 2;
+    const wl::Workload &w = wl::workloadSuite().front();
+    const trace::TraceBuffer trace =
+        wl::generateTrace(w, nc.cfg.trace_records, nc.cfg.seed);
+
+    sim::runTiming(w.name, trace, nc.cfg); // warm caches + allocator
+    double mc_blocks_per_run = 0.0;
+    const auto replay_t0 = Clock::now();
+    for (int i = 0; i < reps; ++i) {
+        const sim::SimResult r = sim::runTiming(w.name, trace, nc.cfg);
+        mc_blocks_per_run =
+            r.stats.get("mc.reads") + r.stats.get("mc.writes");
+    }
+    const double replay_sec = secondsSince(replay_t0);
+    const double records_per_sec =
+        reps * static_cast<double>(trace.size()) / replay_sec;
+    const double blocks_per_sec = reps * mc_blocks_per_run / replay_sec;
+
+    // --- Crypto kernels: active dispatch, then forced software.
+    const crypto::CpuFeatures cpu = crypto::detectCpuFeatures();
+    const char *orig_impl = std::getenv("RMCC_CRYPTO_IMPL");
+    const std::string orig_impl_value = orig_impl ? orig_impl : "";
+    const bool hw_aes = crypto::hwAesActive();
+    const bool hw_clmul = crypto::hwClmulActive();
+    const double aes_active = aesBlocksPerSec();
+    const double clmul_active = clmulOpsPerSec();
+    forceImpl("sw");
+    const double aes_sw = aesBlocksPerSec();
+    const double clmul_sw = clmulOpsPerSec();
+    if (orig_impl)
+        setenv("RMCC_CRYPTO_IMPL", orig_impl_value.c_str(), 1);
+    else
+        unsetenv("RMCC_CRYPTO_IMPL");
+    crypto::reresolveCryptoDispatch();
+
+    const double total_sec = secondsSince(bench_t0);
+
+    std::printf("replay: workload=%s records=%zu reps=%d -> "
+                "%.0f records/sec, %.0f mc-blocks/sec\n",
+                w.name.c_str(), trace.size(), reps, records_per_sec,
+                blocks_per_sec);
+    std::printf("crypto: aes128 %.2fM blk/s (active%s), %.2fM blk/s (sw); "
+                "clmul128 %.2fM op/s (active), %.2fM op/s (sw)\n",
+                aes_active / 1e6, hw_aes ? ", hw" : ", sw",
+                aes_sw / 1e6, clmul_active / 1e6, clmul_sw / 1e6);
+    std::printf("suite wall-clock: %.3f s\n", total_sec);
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"micro_sim\",\n"
+                 "  \"replay\": {\n"
+                 "    \"workload\": \"%s\",\n"
+                 "    \"records\": %zu,\n"
+                 "    \"reps\": %d,\n"
+                 "    \"elapsed_sec\": %.6f,\n"
+                 "    \"records_per_sec\": %.1f,\n"
+                 "    \"blocks_per_sec\": %.1f\n"
+                 "  },\n"
+                 "  \"crypto\": {\n"
+                 "    \"cpu_aesni\": %s,\n"
+                 "    \"cpu_pclmul\": %s,\n"
+                 "    \"hw_aes_active\": %s,\n"
+                 "    \"hw_clmul_active\": %s,\n"
+                 "    \"aes128_blocks_per_sec_active\": %.1f,\n"
+                 "    \"aes128_blocks_per_sec_sw\": %.1f,\n"
+                 "    \"clmul128_ops_per_sec_active\": %.1f,\n"
+                 "    \"clmul128_ops_per_sec_sw\": %.1f\n"
+                 "  },\n"
+                 "  \"suite_wall_clock_sec\": %.6f\n"
+                 "}\n",
+                 w.name.c_str(), trace.size(), reps, replay_sec,
+                 records_per_sec, blocks_per_sec,
+                 cpu.aesni ? "true" : "false",
+                 cpu.pclmul ? "true" : "false",
+                 hw_aes ? "true" : "false", hw_clmul ? "true" : "false",
+                 aes_active, aes_sw, clmul_active, clmul_sw, total_sec);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

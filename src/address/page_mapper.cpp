@@ -1,5 +1,7 @@
 #include "address/page_mapper.hpp"
 
+#include <bit>
+
 #include "util/log.hpp"
 
 namespace rmcc::addr
@@ -7,7 +9,10 @@ namespace rmcc::addr
 
 PageMapper::PageMapper(PageMode mode, std::uint64_t phys_bytes,
                        std::uint64_t seed)
-    : mode_(mode), rng_(seed)
+    : mode_(mode),
+      page_size_(mode == PageMode::Huge2M ? kHugePageSize : kSmallPageSize),
+      page_shift_(static_cast<unsigned>(std::countr_zero(page_size_))),
+      rng_(seed)
 {
     phys_pages_ = phys_bytes / pageSize();
     if (phys_pages_ == 0)
@@ -18,6 +23,8 @@ Addr
 PageMapper::translate(Addr vaddr)
 {
     const std::uint64_t vpn = pageOf(vaddr);
+    if (vpn == last_vpn_)
+        return (last_frame_ << page_shift_) + (vaddr & (page_size_ - 1));
     auto it = table_.find(vpn);
     if (it == table_.end()) {
         std::uint64_t frame;
@@ -46,7 +53,9 @@ PageMapper::translate(Addr vaddr)
             util::fatal("PageMapper: out of physical frames");
         it = table_.emplace(vpn, frame).first;
     }
-    return it->second * pageSize() + vaddr % pageSize();
+    last_vpn_ = vpn;
+    last_frame_ = it->second;
+    return (it->second << page_shift_) + (vaddr & (page_size_ - 1));
 }
 
 } // namespace rmcc::addr

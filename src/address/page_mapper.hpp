@@ -46,13 +46,10 @@ class PageMapper
     Addr translate(Addr vaddr);
 
     /** Page size in bytes for the current mode. */
-    std::uint64_t pageSize() const
-    {
-        return mode_ == PageMode::Huge2M ? kHugePageSize : kSmallPageSize;
-    }
+    std::uint64_t pageSize() const { return page_size_; }
 
     /** Virtual page number of an address under the current mode. */
-    std::uint64_t pageOf(Addr vaddr) const { return vaddr / pageSize(); }
+    std::uint64_t pageOf(Addr vaddr) const { return vaddr >> page_shift_; }
 
     /** Number of pages allocated so far. */
     std::size_t allocatedPages() const { return table_.size(); }
@@ -62,8 +59,14 @@ class PageMapper
 
   private:
     PageMode mode_;
+    std::uint64_t page_size_;
+    unsigned page_shift_;
     std::uint64_t phys_pages_;
     std::uint64_t next_frame_ = 0;
+    //! One-entry translation cache: consecutive records overwhelmingly hit
+    //! the same page, and the mapping of an allocated page never changes.
+    std::uint64_t last_vpn_ = ~0ULL;
+    std::uint64_t last_frame_ = 0;
     std::unordered_map<std::uint64_t, std::uint64_t> table_;
     std::vector<std::uint64_t> free_frames_; // shuffled, 4 KB mode only
     util::Rng rng_;

@@ -1,5 +1,7 @@
 #include "cache/set_assoc.hpp"
 
+#include <bit>
+
 #include "util/log.hpp"
 
 namespace rmcc::cache
@@ -18,23 +20,30 @@ SetAssocCache::SetAssocCache(std::string name, std::uint64_t size_bytes,
                     static_cast<unsigned long long>(size_bytes));
     }
     sets_count_ = size_bytes / (static_cast<std::uint64_t>(assoc_) * line_);
-    lines_.resize(sets_count_ * assoc_);
-}
-
-std::uint64_t
-SetAssocCache::setIndex(addr::Addr a) const
-{
-    return (a / line_) % sets_count_;
+    line_pow2_ = std::has_single_bit(line_);
+    if (line_pow2_)
+        line_shift_ = static_cast<unsigned>(std::countr_zero(line_));
+    sets_pow2_ = std::has_single_bit(sets_count_);
+    if (sets_pow2_)
+        set_mask_ = sets_count_ - 1;
+    tags_.assign(sets_count_ * assoc_, kInvalidTag);
+    lru_.assign(sets_count_ * assoc_, 0);
+    dirty_.assign(sets_count_ * assoc_, 0);
+    mru_.assign(sets_count_, 0);
+    filled_.assign(sets_count_, 0);
 }
 
 int
 SetAssocCache::findWay(std::uint64_t set, addr::Addr tag) const
 {
-    for (unsigned w = 0; w < assoc_; ++w) {
-        const Line &l = lines_[set * assoc_ + w];
-        if (l.valid && l.tag == tag)
+    const addr::Addr *tags = &tags_[set * assoc_];
+    if (tags[mru_[set]] == tag)
+        return static_cast<int>(mru_[set]);
+    // The hint way cannot match again, so rescanning it is one harmless
+    // compare; keeping the loop branch-free lets it vectorize.
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (tags[w] == tag)
             return static_cast<int>(w);
-    }
     return -1;
 }
 
@@ -43,18 +52,44 @@ SetAssocCache::victimWay(std::uint64_t set) const
 {
     // Invalid ways first; otherwise smallest recency (LRU) or insertion
     // order (FIFO — lru field records fill time in that mode).
+    const std::uint64_t *lru = &lru_[set * assoc_];
+    if (filled_[set] < assoc_) {
+        const addr::Addr *tags = &tags_[set * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w)
+            if (tags[w] == kInvalidTag)
+                return w;
+    }
     unsigned victim = 0;
     std::uint64_t best = ~0ULL;
     for (unsigned w = 0; w < assoc_; ++w) {
-        const Line &l = lines_[set * assoc_ + w];
-        if (!l.valid)
-            return w;
-        if (l.lru < best) {
-            best = l.lru;
+        if (lru[w] < best) {
+            best = lru[w];
             victim = w;
         }
     }
     return victim;
+}
+
+AccessResult
+SetAssocCache::replaceIn(std::uint64_t set, addr::Addr tag, bool dirty)
+{
+    const unsigned way = victimWay(set);
+    const std::size_t li = set * assoc_ + way;
+    AccessResult res;
+    if (tags_[li] != kInvalidTag) {
+        res.evicted = true;
+        res.writeback = dirty_[li] != 0;
+        res.victim_addr = tags_[li] * line_;
+        if (dirty_[li])
+            ++writebacks_;
+    } else {
+        ++filled_[set];
+    }
+    tags_[li] = tag;
+    dirty_[li] = dirty ? 1 : 0;
+    lru_[li] = clock_;
+    mru_[set] = way;
+    return res;
 }
 
 AccessResult
@@ -65,17 +100,41 @@ SetAssocCache::access(addr::Addr a, bool is_write)
     ++clock_;
     const int way = findWay(set, tag);
     if (way >= 0) {
-        Line &l = lines_[set * assoc_ + static_cast<unsigned>(way)];
+        const std::size_t li = set * assoc_ + static_cast<unsigned>(way);
         if (policy_ == ReplPolicy::LRU)
-            l.lru = clock_;
-        l.dirty = l.dirty || is_write;
+            lru_[li] = clock_;
+        if (is_write)
+            dirty_[li] = 1;
+        mru_[set] = static_cast<std::uint32_t>(way);
         ++hits_;
         return {true, false, false, 0};
     }
     ++misses_;
-    AccessResult res = fill(a, is_write);
-    res.hit = false;
-    return res;
+    // Inline the fill, skipping its redundant findWay: the set cannot
+    // have gained the tag since the probe above.  The clock still
+    // advances exactly as the old access() -> fill() pair did, so every
+    // LRU stamp (and therefore every victim choice) is unchanged.
+    ++clock_;
+    return replaceIn(set, tag, is_write);
+}
+
+bool
+SetAssocCache::accessIfPresent(addr::Addr a, bool is_write)
+{
+    const addr::Addr tag = tagOf(a);
+    const std::uint64_t set = setIndex(a);
+    const int way = findWay(set, tag);
+    if (way < 0)
+        return false;
+    ++clock_;
+    const std::size_t li = set * assoc_ + static_cast<unsigned>(way);
+    if (policy_ == ReplPolicy::LRU)
+        lru_[li] = clock_;
+    if (is_write)
+        dirty_[li] = 1;
+    mru_[set] = static_cast<std::uint32_t>(way);
+    ++hits_;
+    return true;
 }
 
 AccessResult
@@ -86,27 +145,16 @@ SetAssocCache::fill(addr::Addr a, bool dirty)
     ++clock_;
     const int existing = findWay(set, tag);
     if (existing >= 0) {
-        Line &l = lines_[set * assoc_ + static_cast<unsigned>(existing)];
-        l.dirty = l.dirty || dirty;
+        const std::size_t li =
+            set * assoc_ + static_cast<unsigned>(existing);
+        if (dirty)
+            dirty_[li] = 1;
         if (policy_ == ReplPolicy::LRU)
-            l.lru = clock_;
+            lru_[li] = clock_;
+        mru_[set] = static_cast<std::uint32_t>(existing);
         return {true, false, false, 0};
     }
-    const unsigned way = victimWay(set);
-    Line &l = lines_[set * assoc_ + way];
-    AccessResult res;
-    if (l.valid) {
-        res.evicted = true;
-        res.writeback = l.dirty;
-        res.victim_addr = l.tag * line_;
-        if (l.dirty)
-            ++writebacks_;
-    }
-    l.valid = true;
-    l.tag = tag;
-    l.dirty = dirty;
-    l.lru = clock_;
-    return res;
+    return replaceIn(set, tag, dirty);
 }
 
 bool
@@ -121,10 +169,12 @@ SetAssocCache::invalidate(addr::Addr a)
     const int way = findWay(setIndex(a), tagOf(a));
     if (way < 0)
         return false;
-    Line &l = lines_[setIndex(a) * assoc_ + static_cast<unsigned>(way)];
-    const bool was_dirty = l.dirty;
-    l.valid = false;
-    l.dirty = false;
+    const std::size_t li =
+        setIndex(a) * assoc_ + static_cast<unsigned>(way);
+    const bool was_dirty = dirty_[li] != 0;
+    tags_[li] = kInvalidTag;
+    dirty_[li] = 0;
+    --filled_[setIndex(a)];
     return was_dirty;
 }
 
@@ -133,8 +183,7 @@ SetAssocCache::touchDirty(addr::Addr a)
 {
     const int way = findWay(setIndex(a), tagOf(a));
     if (way >= 0)
-        lines_[setIndex(a) * assoc_ + static_cast<unsigned>(way)].dirty =
-            true;
+        dirty_[setIndex(a) * assoc_ + static_cast<unsigned>(way)] = 1;
 }
 
 void

@@ -58,6 +58,14 @@ class SetAssocCache
      */
     AccessResult access(addr::Addr a, bool is_write);
 
+    /**
+     * Hit-only access: identical to access() when the line is present
+     * (recency update, dirty marking, hit count); a no-op returning false
+     * when it is not.  Lets a caller that handles misses itself (fetch,
+     * then fill()) use one way-scan instead of a probe() + access() pair.
+     */
+    bool accessIfPresent(addr::Addr a, bool is_write);
+
     /** Insert without an access (e.g. prefetch fill); returns eviction. */
     AccessResult fill(addr::Addr a, bool dirty);
 
@@ -84,29 +92,53 @@ class SetAssocCache
     void resetStats();
 
   private:
-    struct Line
+    std::uint64_t setIndex(addr::Addr a) const
     {
-        addr::Addr tag = 0;
-        std::uint64_t lru = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+        const addr::Addr tag = tagOf(a);
+        return sets_pow2_ ? (tag & set_mask_) : (tag % sets_count_);
+    }
+    addr::Addr tagOf(addr::Addr a) const
+    {
+        return line_pow2_ ? (a >> line_shift_) : (a / line_);
+    }
 
-    std::uint64_t setIndex(addr::Addr a) const;
-    addr::Addr tagOf(addr::Addr a) const { return a / line_; }
-
-    /** Find the way holding tag, or -1. */
+    /** Find the way holding tag (MRU-hint first), or -1. */
     int findWay(std::uint64_t set, addr::Addr tag) const;
 
     /** Pick a victim way in the set according to the policy. */
     unsigned victimWay(std::uint64_t set) const;
+
+    /** Place tag in the set (which must not hold it) at clock_. */
+    AccessResult replaceIn(std::uint64_t set, addr::Addr tag, bool dirty);
 
     std::string name_;
     std::uint64_t sets_count_;
     unsigned assoc_;
     unsigned line_;
     ReplPolicy policy_;
-    std::vector<Line> lines_;
+    //! Power-of-two fast paths for the per-access index/tag math; the
+    //! general divide/modulo remains for odd geometries used in tests.
+    bool line_pow2_ = false, sets_pow2_ = false;
+    unsigned line_shift_ = 0;
+    std::uint64_t set_mask_ = 0;
+    //! Tag stored in ways that hold no line.  Real tags are addresses
+    //! divided by the line size, so ~0 is unreachable; encoding validity
+    //! in the tag itself makes findWay a pure tag compare.
+    static constexpr addr::Addr kInvalidTag = ~addr::Addr{0};
+
+    //! Line state in structure-of-arrays form so the tag scan — the
+    //! hottest loop in the whole simulator — touches one dense array
+    //! instead of striding through 24-byte structs.
+    std::vector<addr::Addr> tags_;
+    std::vector<std::uint64_t> lru_;
+    std::vector<std::uint8_t> dirty_;
+    //! Most-recently-touched way per set, probed before the linear scan.
+    //! A stale hint only costs one extra compare; search results are
+    //! unchanged.
+    std::vector<std::uint32_t> mru_;
+    //! Valid lines per set; once a set is full the victim scan skips the
+    //! invalid-way check and reduces to a pure LRU minimum.
+    std::vector<std::uint32_t> filled_;
     std::uint64_t clock_ = 0;
     std::uint64_t hits_ = 0, misses_ = 0, writebacks_ = 0;
 };

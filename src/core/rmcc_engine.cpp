@@ -1,7 +1,8 @@
 #include "core/rmcc_engine.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace rmcc::core
 {
@@ -114,23 +115,45 @@ RmccEngine::averageCoverage(unsigned level) const
     const MemoTable &tbl = *levels_[level]->table;
     const ctr::CounterScheme &scheme = tree_.level(level);
 
-    // Count entities per memoized value in one pass.
-    std::unordered_map<addr::CounterValue, std::uint64_t> covered;
+    // Covered values form [start, start + group_size) intervals; merge
+    // the (possibly overlapping) groups so the entity scan is a compare
+    // against a handful of sorted ranges instead of a hash probe per
+    // counter.
+    std::vector<std::pair<addr::CounterValue, addr::CounterValue>> ranges;
+    const unsigned group_size = tbl.config().group_size;
     for (const auto start : tbl.groupStarts())
-        for (unsigned k = 0; k < tbl.config().group_size; ++k)
-            covered.emplace(start + k, 0);
-    if (covered.empty())
+        ranges.emplace_back(start, start + group_size);
+    if (ranges.empty())
         return 0.0;
-    for (std::uint64_t i = 0; i < scheme.entities(); ++i) {
-        const auto it = covered.find(scheme.read(i));
-        if (it != covered.end())
-            ++it->second;
+    std::sort(ranges.begin(), ranges.end());
+    std::size_t merged = 0;
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+        if (ranges[i].first <= ranges[merged].second)
+            ranges[merged].second =
+                std::max(ranges[merged].second, ranges[i].second);
+        else
+            ranges[++merged] = ranges[i];
     }
+    ranges.resize(merged + 1);
+    std::uint64_t distinct = 0;
+    for (const auto &[lo, hi] : ranges)
+        distinct += hi - lo;
+
     std::uint64_t total = 0;
-    for (const auto &[value, count] : covered)
-        total += count;
-    return static_cast<double>(total) /
-           static_cast<double>(covered.size());
+    const std::uint64_t n = scheme.entities();
+    const addr::CounterValue *raw = scheme.rawValues();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const addr::CounterValue v = raw ? raw[i] : scheme.read(i);
+        for (const auto &[lo, hi] : ranges) {
+            if (v < lo)
+                break;
+            if (v < hi) {
+                ++total;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(total) / static_cast<double>(distinct);
 }
 
 } // namespace rmcc::core

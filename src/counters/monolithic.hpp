@@ -33,6 +33,10 @@ class MonolithicScheme : public CounterScheme
     WriteResult relevelBlock(std::uint64_t idx,
                              addr::CounterValue target) override;
     std::uint64_t entities() const override { return store_.size(); }
+    const addr::CounterValue *rawValues() const override
+    {
+        return store_.data();
+    }
     addr::CounterValue observedMax() const override
     {
         return store_.observedMax();

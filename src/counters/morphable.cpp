@@ -41,13 +41,15 @@ infoOf(MorphFormat f)
 
 /** Does a set of offsets fit one format? */
 bool
-fits(const MorphFormatInfo &fmt, const std::vector<std::uint64_t> &offsets)
+fits(const MorphFormatInfo &fmt, const std::uint64_t *offsets,
+     std::size_t n)
 {
     if (fmt.id == MorphFormat::Uniform3X) {
         // Uniform 3-bit minors with up to kUniform3xSlots far-drifted
         // exceptions below 2^13.
         unsigned exceptions = 0;
-        for (auto o : offsets) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t o = offsets[i];
             if (o >= (1ULL << 13))
                 return false;
             if (o >= 8 && ++exceptions > kUniform3xSlots)
@@ -57,7 +59,8 @@ fits(const MorphFormatInfo &fmt, const std::vector<std::uint64_t> &offsets)
     }
     const std::uint64_t limit = 1ULL << fmt.minor_bits;
     unsigned nonzero = 0;
-    for (auto o : offsets) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t o = offsets[i];
         if (o >= limit)
             return false;
         nonzero += o != 0;
@@ -75,18 +78,59 @@ constexpr std::size_t kPayloadBase = kMajorBits + kFormatBits;
 } // namespace
 
 std::optional<MorphFormat>
-MorphableScheme::chooseFormat(const std::vector<std::uint64_t> &offsets)
+MorphableScheme::chooseFormat(const std::uint64_t *offsets, std::size_t n)
 {
     for (const auto &fmt : morphFormats())
-        if (fits(fmt, offsets))
+        if (fits(fmt, offsets, n))
             return fmt.id;
     return std::nullopt;
+}
+
+std::optional<MorphFormat>
+MorphableScheme::chooseFormat(const std::vector<std::uint64_t> &offsets)
+{
+    return chooseFormat(offsets.data(), offsets.size());
+}
+
+std::optional<MorphFormat>
+MorphableScheme::formatFromSummary(const BlockSummary &s)
+{
+    // Mirrors fits(): each predicate only needs the block's max offset,
+    // non-zero count, and >=8 count, all of which the summary carries.
+    for (const auto &fmt : morphFormats()) {
+        if (fmt.id == MorphFormat::Uniform3X) {
+            if (s.max_off < (1ULL << 13) && s.ge8 <= kUniform3xSlots)
+                return fmt.id;
+            continue;
+        }
+        if (s.max_off >= (1ULL << fmt.minor_bits))
+            continue;
+        if (fmt.id == MorphFormat::Uniform3 || s.nonzero <= fmt.max_nonzero)
+            return fmt.id;
+    }
+    return std::nullopt;
+}
+
+void
+MorphableScheme::refreshSummary(addr::CounterBlockId cb)
+{
+    const auto [first, last] = blockRange(cb);
+    const addr::CounterValue major = majors_[cb];
+    BlockSummary s;
+    for (std::uint64_t i = first; i < last; ++i) {
+        const std::uint64_t off = store_.get(i) - major;
+        s.max_off = std::max(s.max_off, off);
+        s.nonzero += off != 0;
+        s.ge8 += off >= 8;
+    }
+    summaries_[cb] = s;
 }
 
 MorphableScheme::MorphableScheme(std::uint64_t n)
     : store_(n),
       majors_((n + kCoverage - 1) / kCoverage, 0),
-      formats_(majors_.size(), MorphFormat::Uniform3)
+      formats_(majors_.size(), MorphFormat::Uniform3),
+      summaries_(majors_.size())
 {
 }
 
@@ -95,6 +139,16 @@ MorphableScheme::blockRange(addr::CounterBlockId cb) const
 {
     const std::uint64_t first = cb * kCoverage;
     return {first, std::min(first + kCoverage, store_.size())};
+}
+
+std::size_t
+MorphableScheme::loadOffsets(addr::CounterBlockId cb, OffsetBuf &buf) const
+{
+    const auto [first, last] = blockRange(cb);
+    const addr::CounterValue major = majors_[cb];
+    for (std::uint64_t i = first; i < last; ++i)
+        buf[i - first] = store_.get(i) - major;
+    return last - first;
 }
 
 std::vector<std::uint64_t>
@@ -108,6 +162,13 @@ MorphableScheme::blockOffsets(addr::CounterBlockId cb) const
 }
 
 addr::CounterValue
+MorphableScheme::blockMax(std::uint64_t idx) const
+{
+    const addr::CounterBlockId cb = blockOf(idx);
+    return majors_[cb] + summaries_[cb].max_off;
+}
+
+addr::CounterValue
 MorphableScheme::read(std::uint64_t idx) const
 {
     return store_.get(idx);
@@ -118,11 +179,27 @@ MorphableScheme::encodable(std::uint64_t idx,
                            addr::CounterValue new_value) const
 {
     const addr::CounterBlockId cb = blockOf(idx);
-    if (new_value >= majors_[cb]) {
-        auto offsets = blockOffsets(cb);
-        offsets[idx - cb * kCoverage] = new_value - majors_[cb];
-        if (chooseFormat(offsets).has_value())
-            return true;
+    const addr::CounterValue major = majors_[cb];
+    if (new_value >= major) {
+        const addr::CounterValue cur = store_.get(idx);
+        if (new_value >= cur) {
+            // A non-decreasing candidate can only grow the summary, so
+            // the updated digest is exact and no offset scan is needed.
+            BlockSummary s = summaries_[cb];
+            const std::uint64_t old_off = cur - major;
+            const std::uint64_t new_off = new_value - major;
+            s.max_off = std::max(s.max_off, new_off);
+            s.nonzero += old_off == 0 && new_off != 0;
+            s.ge8 += old_off < 8 && new_off >= 8;
+            if (formatFromSummary(s).has_value())
+                return true;
+        } else {
+            OffsetBuf offsets;
+            const std::size_t n = loadOffsets(cb, offsets);
+            offsets[idx - cb * kCoverage] = new_value - major;
+            if (chooseFormat(offsets.data(), n).has_value())
+                return true;
+        }
     }
     // Min-shift re-encode: sliding the major up to the block minimum
     // changes no counter value, so it costs no re-encryption.
@@ -138,11 +215,11 @@ MorphableScheme::shiftedFormat(addr::CounterBlockId cb, std::uint64_t idx,
     for (std::uint64_t i = first; i < last; ++i)
         if (i != idx)
             vmin = std::min(vmin, store_.get(i));
-    std::vector<std::uint64_t> offsets(last - first);
+    OffsetBuf offsets;
     for (std::uint64_t i = first; i < last; ++i)
         offsets[i - first] =
             (i == idx ? new_value : store_.get(i)) - vmin;
-    return chooseFormat(offsets);
+    return chooseFormat(offsets.data(), last - first);
 }
 
 WriteResult
@@ -150,14 +227,23 @@ MorphableScheme::write(std::uint64_t idx, addr::CounterValue new_value)
 {
     assert(new_value > store_.get(idx));
     const addr::CounterBlockId cb = blockOf(idx);
-    if (new_value >= majors_[cb]) {
-        auto offsets = blockOffsets(cb);
-        offsets[idx - cb * kCoverage] = new_value - majors_[cb];
-        if (const auto fmt = chooseFormat(offsets)) {
+    const addr::CounterValue major = majors_[cb];
+    if (new_value >= major) {
+        // Counter writes are monotone, so the one changed offset only
+        // grows and the block digest updates in O(1) — no 128-offset
+        // rescan on the dense path.
+        BlockSummary s = summaries_[cb];
+        const std::uint64_t old_off = store_.get(idx) - major;
+        const std::uint64_t new_off = new_value - major;
+        s.max_off = std::max(s.max_off, new_off);
+        s.nonzero += old_off == 0;
+        s.ge8 += old_off < 8 && new_off >= 8;
+        if (const auto fmt = formatFromSummary(s)) {
             if (*fmt != formats_[cb]) {
                 ++morphs_;
                 formats_[cb] = *fmt;
             }
+            summaries_[cb] = s;
             store_.set(idx, new_value);
             return {new_value, false, 0};
         }
@@ -174,6 +260,7 @@ MorphableScheme::write(std::uint64_t idx, addr::CounterValue new_value)
         majors_[cb] = vmin;
         formats_[cb] = *fmt;
         ++morphs_;
+        refreshSummary(cb);
         return {new_value, false, 0};
     }
     // Rebase: relevel every value to the block maximum; all covered
@@ -186,6 +273,7 @@ MorphableScheme::write(std::uint64_t idx, addr::CounterValue new_value)
     for (std::uint64_t i = first; i < last; ++i)
         store_.set(i, vmax);
     formats_[cb] = MorphFormat::Uniform3;
+    summaries_[cb] = BlockSummary{};
     ++overflows_;
     return {vmax, true, last - first};
 }
@@ -198,6 +286,21 @@ MorphableScheme::cheaplyEncodable(std::uint64_t idx,
     // range: no exception or bitmap capacity is consumed.
     const addr::CounterBlockId cb = blockOf(idx);
     const auto [first, last] = blockRange(cb);
+    // Summary fast path: when another entity still sits at the major
+    // (so the others' minimum is known) and idx does not hold the block
+    // maximum (so the others' maximum is known), the min/max over
+    // "everyone but idx, plus v" follows from the digest alone.
+    const BlockSummary &s = summaries_[cb];
+    const addr::CounterValue major = majors_[cb];
+    const std::uint64_t off_idx = store_.get(idx) - major;
+    const std::uint64_t n = last - first;
+    const std::uint64_t nonzero_others = s.nonzero - (off_idx != 0);
+    if (nonzero_others < n - 1 && off_idx < s.max_off) {
+        const addr::CounterValue vmin = std::min(v, major);
+        const addr::CounterValue vmax =
+            std::max(v, major + s.max_off);
+        return vmax - vmin < 8;
+    }
     addr::CounterValue vmin = v, vmax = v;
     for (std::uint64_t i = first; i < last; ++i) {
         if (i == idx)
@@ -219,6 +322,7 @@ MorphableScheme::relevelBlock(std::uint64_t idx, addr::CounterValue target)
     for (std::uint64_t i = first; i < last; ++i)
         store_.set(i, target);
     formats_[cb] = MorphFormat::Uniform3;
+    summaries_[cb] = BlockSummary{};
     return {target, false, last - first};
 }
 
@@ -253,6 +357,7 @@ MorphableScheme::randomInit(util::Rng &rng, addr::CounterValue mean)
         formats_[cb] = *fmt;
         for (std::uint64_t i = first; i < last; ++i)
             store_.set(i, major + offsets[i - first]);
+        refreshSummary(cb);
     }
 }
 

@@ -81,10 +81,15 @@ class MorphableScheme : public CounterScheme
     bool cheaplyEncodable(std::uint64_t idx,
                           addr::CounterValue v) const override;
     std::uint64_t entities() const override { return store_.size(); }
+    const addr::CounterValue *rawValues() const override
+    {
+        return store_.data();
+    }
     addr::CounterValue observedMax() const override
     {
         return store_.observedMax();
     }
+    addr::CounterValue blockMax(std::uint64_t idx) const override;
     void randomInit(util::Rng &rng, addr::CounterValue mean) override;
 
     /** Current format of a block (stats/tests). */
@@ -123,6 +128,39 @@ class MorphableScheme : public CounterScheme
     chooseFormat(const std::vector<std::uint64_t> &offsets);
 
   private:
+    /**
+     * Per-block digest of the offset distribution — exactly the facts the
+     * format predicates test.  Lets the common write (major unchanged,
+     * offsets only grow) pick its format in O(1) instead of re-scanning
+     * all 128 offsets; any path that moves the major recomputes it.
+     */
+    struct BlockSummary
+    {
+        std::uint64_t max_off = 0; //!< Largest offset in the block.
+        std::uint16_t nonzero = 0; //!< Entities with non-zero offsets.
+        std::uint16_t ge8 = 0;     //!< Entities with offsets >= 8.
+    };
+
+    /** Stack scratch for one block's offsets (write() must not allocate). */
+    using OffsetBuf = std::array<std::uint64_t, kCoverage>;
+
+    /** First fitting format for a summarized offset set; O(1). */
+    static std::optional<MorphFormat>
+    formatFromSummary(const BlockSummary &s);
+
+    /** Recompute a block's summary from its stored values. */
+    void refreshSummary(addr::CounterBlockId cb);
+
+    /** chooseFormat over a raw offsets array (allocation-free core). */
+    static std::optional<MorphFormat>
+    chooseFormat(const std::uint64_t *offsets, std::size_t n);
+
+    /**
+     * Fill buf with the offsets (value - major) of every entity in the
+     * block; returns how many entities the block covers.
+     */
+    std::size_t loadOffsets(addr::CounterBlockId cb, OffsetBuf &buf) const;
+
     /** Offsets (value - major) of every entity in a block. */
     std::vector<std::uint64_t> blockOffsets(addr::CounterBlockId cb) const;
 
@@ -141,6 +179,7 @@ class MorphableScheme : public CounterScheme
     CounterStore store_;
     std::vector<addr::CounterValue> majors_;
     std::vector<MorphFormat> formats_;
+    std::vector<BlockSummary> summaries_;
     std::uint64_t morphs_ = 0;
 };
 

@@ -104,6 +104,13 @@ class CounterScheme
     /** Number of entities. */
     virtual std::uint64_t entities() const = 0;
 
+    /**
+     * Raw dense array of all entities() logical values when the scheme
+     * stores them contiguously; nullptr otherwise.  Bulk scans (stats
+     * reporting) use it to skip one virtual read() per counter.
+     */
+    virtual const addr::CounterValue *rawValues() const { return nullptr; }
+
     /** Largest counter value ever stored (feeds Observed-System-Max). */
     virtual addr::CounterValue observedMax() const = 0;
 
@@ -124,9 +131,10 @@ class CounterScheme
     /**
      * Largest counter value in idx's block; an overflow relevels the whole
      * block to (at least) this value, so the update policy aims rebase
-     * targets at the nearest memoized value above it.
+     * targets at the nearest memoized value above it.  Virtual so schemes
+     * with direct storage can skip the per-entity virtual read() calls.
      */
-    addr::CounterValue
+    virtual addr::CounterValue
     blockMax(std::uint64_t idx) const
     {
         const std::uint64_t first = blockOf(idx) * coverage();

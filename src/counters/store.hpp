@@ -34,6 +34,10 @@ class CounterStore
     /** Current logical value of counter idx. */
     addr::CounterValue get(std::uint64_t idx) const { return values_[idx]; }
 
+    /** Dense value array, for bulk scans that must not pay a virtual
+     *  call per counter (stats reporting). */
+    const addr::CounterValue *data() const { return values_.data(); }
+
     /** Overwrite counter idx; tracks the observed maximum. */
     void set(std::uint64_t idx, addr::CounterValue v);
 

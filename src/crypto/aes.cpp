@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "crypto/dispatch.hpp"
+
 namespace rmcc::crypto
 {
 
@@ -216,12 +218,25 @@ Aes::expandKey(const std::uint8_t *key, std::size_t key_words)
         }
         round_keys_[i] = round_keys_[i - key_words] ^ temp;
     }
+    for (std::size_t i = 0; i < total_words; ++i) {
+        round_key_bytes_[4 * i + 0] =
+            static_cast<std::uint8_t>(round_keys_[i] >> 24);
+        round_key_bytes_[4 * i + 1] =
+            static_cast<std::uint8_t>(round_keys_[i] >> 16);
+        round_key_bytes_[4 * i + 2] =
+            static_cast<std::uint8_t>(round_keys_[i] >> 8);
+        round_key_bytes_[4 * i + 3] =
+            static_cast<std::uint8_t>(round_keys_[i]);
+    }
 }
 
 Block128
 Aes::encrypt(const Block128 &plaintext) const
 {
     assert(rounds_ == 10 || rounds_ == 14);
+    if (detail::dispatchState().hw_aes)
+        return detail::aesEncryptHw(round_key_bytes_.data(), rounds_,
+                                    plaintext);
     const EncTables &T = encTables();
 
     // One 32-bit word per state column, row 0 in the MSB — the same

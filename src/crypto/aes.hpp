@@ -75,6 +75,15 @@ class Aes
     /** Number of rounds (10 for AES-128, 14 for AES-256). */
     int rounds() const { return rounds_; }
 
+    /**
+     * Round keys serialized to FIPS-197 byte order, 16 bytes per round
+     * key, 16 * (rounds + 1) bytes total — the layout AESENC consumes.
+     */
+    const std::uint8_t *roundKeyBytes() const
+    {
+        return round_key_bytes_.data();
+    }
+
   private:
     Aes() = default;
 
@@ -82,6 +91,8 @@ class Aes
 
     /** Round keys as 4-byte words; 4 * (rounds + 1) words. */
     std::array<std::uint32_t, 60> round_keys_{};
+    /** The same schedule as bytes (see roundKeyBytes()). */
+    std::array<std::uint8_t, 240> round_key_bytes_{};
     int rounds_ = 0;
 };
 

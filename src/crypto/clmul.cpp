@@ -1,5 +1,7 @@
 #include "crypto/clmul.hpp"
 
+#include "crypto/dispatch.hpp"
+
 namespace rmcc::crypto
 {
 
@@ -68,6 +70,8 @@ toLimbs(const Block128 &b)
 U256
 clmul128(const Block128 &a, const Block128 &b)
 {
+    if (detail::dispatchState().hw_clmul)
+        return detail::clmul128Hw(a, b);
     const auto [a_hi, a_lo] = toLimbs(a);
     const auto [b_hi, b_lo] = toLimbs(b);
 

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Runtime dispatch between the portable software crypto kernels and the
+ * hardware AES-NI / PCLMULQDQ instruction paths.
+ *
+ * The software implementations in aes.cpp / clmul.cpp remain the oracle of
+ * correctness: the hardware kernels compute the exact same functions
+ * (FIPS-197 AES, 128x128 carry-less multiply) and are verified against
+ * them bit-for-bit by the test suite.  Routing is decided once per process
+ * from RMCC_CRYPTO_IMPL:
+ *
+ *   auto (default)  use hardware kernels iff the CPU supports them
+ *   hw              require hardware kernels; throw if the CPU cannot
+ *   sw              force the portable software kernels
+ *
+ * Invalid values throw via util::envChoice's strict parsing.
+ */
+#ifndef RMCC_CRYPTO_DISPATCH_HPP
+#define RMCC_CRYPTO_DISPATCH_HPP
+
+#include <cstdint>
+
+#include "crypto/clmul.hpp"
+
+namespace rmcc::crypto
+{
+
+/** The three RMCC_CRYPTO_IMPL policies. */
+enum class CryptoImpl
+{
+    Auto, //!< Hardware when supported, software otherwise (default).
+    Hw,   //!< Hardware required; resolution throws without CPU support.
+    Sw,   //!< Software forced.
+};
+
+/** CPUID-derived instruction-set support. */
+struct CpuFeatures
+{
+    bool aesni = false;  //!< AESENC/AESENCLAST available.
+    bool pclmul = false; //!< PCLMULQDQ available.
+};
+
+/** Probe the running CPU (all-false on non-x86 builds). */
+CpuFeatures detectCpuFeatures();
+
+/** The policy parsed from RMCC_CRYPTO_IMPL ("auto" when unset). */
+CryptoImpl configuredCryptoImpl();
+
+/** True when AES encryption is currently routed to AES-NI. */
+bool hwAesActive();
+
+/** True when clmul128 is currently routed to PCLMULQDQ. */
+bool hwClmulActive();
+
+/**
+ * Re-read RMCC_CRYPTO_IMPL and recompute the routing.  Test hook: lets a
+ * test force =sw and =hw in one process and compare the kernels.  Throws
+ * (leaving the previous routing in place) on an invalid value or on =hw
+ * without CPU support.  Not thread-safe; call only while no other thread
+ * is inside a crypto kernel.
+ */
+void reresolveCryptoDispatch();
+
+namespace detail
+{
+
+/** Resolved routing; read per call by the dispatching entry points. */
+struct DispatchState
+{
+    CryptoImpl mode = CryptoImpl::Auto;
+    bool hw_aes = false;
+    bool hw_clmul = false;
+};
+
+/** The process-wide routing, resolved from the env on first use. */
+const DispatchState &dispatchState();
+
+/**
+ * AES-NI encryption of one block.  round_key_bytes must hold the
+ * 16 * (rounds + 1) byte-serialized round keys (Aes::roundKeyBytes()).
+ * Calling this on a CPU without AES-NI is undefined; route through
+ * dispatchState().
+ */
+Block128 aesEncryptHw(const std::uint8_t *round_key_bytes, int rounds,
+                      const Block128 &plaintext);
+
+/** PCLMULQDQ 128x128 -> 256 carry-less multiply; same contract. */
+U256 clmul128Hw(const Block128 &a, const Block128 &b);
+
+} // namespace detail
+
+} // namespace rmcc::crypto
+
+#endif // RMCC_CRYPTO_DISPATCH_HPP

@@ -1,7 +1,8 @@
 #include "mc/secure_mc.hpp"
 
 #include <algorithm>
-#include <string>
+
+#include "util/log.hpp"
 
 namespace rmcc::mc
 {
@@ -13,14 +14,53 @@ SecureMc::SecureMc(const McConfig &cfg, ctr::IntegrityTree &tree,
                  cfg.counter_cache_assoc),
       ovf_(dram)
 {
+    h_.dram_total = stats_.handle("dram.total");
+    h_.dram_data_read = stats_.handle("dram.data_read");
+    h_.dram_data_write = stats_.handle("dram.data_write");
+    h_.dram_ctr_read = stats_.handle("dram.ctr_read");
+    h_.dram_ctr_write = stats_.handle("dram.ctr_write");
+    h_.dram_ovf0 = stats_.handle("dram.ovf0");
+    h_.dram_ovf_hi = stats_.handle("dram.ovf_hi");
+    h_.ctr_writebacks = stats_.handle("ctr.writebacks");
+    h_.ovf_count = stats_.handle("ovf.count");
+    h_.ovf_l0 = stats_.handle("ovf.l0");
+    h_.ovf_hi = stats_.handle("ovf.hi");
+    h_.rmcc_read_updates = stats_.handle("rmcc.read_updates");
+    h_.rmcc_memo_write_updates = stats_.handle("rmcc.memo_write_updates");
+    h_.mc_reads = stats_.handle("mc.reads");
+    h_.mc_writes = stats_.handle("mc.writes");
+    h_.lat_read_sum_ns = stats_.handle("lat.read_sum_ns");
+    h_.ctr_l0_miss = stats_.handle("ctr.l0_miss");
+    h_.ctr_hi_miss = stats_.handle("ctr.hi_miss");
+    h_.ctr_l0_hit = stats_.handle("ctr.l0_hit");
+    h_.memo_lookups_on_miss = stats_.handle("memo.l0_lookups_on_miss");
+    h_.memo_hit_on_miss = stats_.handle("memo.l0_hit_on_miss");
+    h_.memo_group_hit_on_miss = stats_.handle("memo.l0_group_hit_on_miss");
+    h_.memo_recent_hit_on_miss =
+        stats_.handle("memo.l0_recent_hit_on_miss");
+    h_.memo_hit_all = stats_.handle("memo.l0_hit_all");
+    h_.memo_lookups_all = stats_.handle("memo.l0_lookups_all");
+    h_.memo_accelerated_misses = stats_.handle("memo.accelerated_misses");
+
+    const unsigned levels = tree_.levels();
+    if (levels > kMaxLevels)
+        util::fatal("SecureMc: integrity tree has %u levels, max %u",
+                    levels, kMaxLevels);
+    for (unsigned k = 0; k < levels; ++k) {
+        meta_[k].base = tree_.blockAddr(k, 0);
+        meta_[k].end =
+            meta_[k].base + tree_.blocksAt(k) * addr::kBlockSize;
+        meta_[k].coverage = tree_.level(k).coverage();
+        meta_[k].decode_ns = tree_.level(k).decodeLatencyNs();
+    }
 }
 
 double
 SecureMc::chargeDram(addr::Addr a, bool is_write, double now_ns,
-                     const char *category)
+                     util::StatHandle category)
 {
-    stats_.inc(std::string("dram.") + category);
-    stats_.inc("dram.total");
+    stats_.inc(category);
+    stats_.inc(h_.dram_total);
     engine_.onDramAccess();
     return dram_.access(a, is_write, now_ns).done_ns;
 }
@@ -29,23 +69,21 @@ std::pair<double, bool>
 SecureMc::touchCounterBlock(unsigned level, addr::CounterBlockId cb,
                             bool dirty, double now_ns)
 {
-    const addr::Addr a = tree_.blockAddr(level, cb);
-    const double decode = tree_.level(level).decodeLatencyNs();
-    if (ctr_cache_.probe(a)) {
-        ctr_cache_.access(a, dirty);
+    const addr::Addr a =
+        meta_[level].base + (cb << addr::kBlockShift);
+    const double decode = meta_[level].decode_ns;
+    if (ctr_cache_.accessIfPresent(a, dirty))
         return {now_ns + cfg_.lat.ctr_cache_ns + decode, false};
-    }
-    const double done = chargeDram(a, false, now_ns, "ctr_read");
+    const double done = chargeDram(a, false, now_ns, h_.dram_ctr_read);
     const cache::AccessResult fill = ctr_cache_.fill(a, dirty);
     if (fill.writeback) {
         // Dirty victim: identify its level and block id from the address.
         for (unsigned l = 0; l < tree_.levels(); ++l) {
-            const addr::Addr base = tree_.blockAddr(l, 0);
-            const addr::Addr end =
-                base + tree_.blocksAt(l) * addr::kBlockSize;
-            if (fill.victim_addr >= base && fill.victim_addr < end) {
+            if (fill.victim_addr >= meta_[l].base &&
+                fill.victim_addr < meta_[l].end) {
                 counterWriteback(
-                    l, (fill.victim_addr - base) >> addr::kBlockShift,
+                    l,
+                    (fill.victim_addr - meta_[l].base) >> addr::kBlockShift,
                     now_ns);
                 break;
             }
@@ -65,17 +103,18 @@ SecureMc::counterWriteback(unsigned level, addr::CounterBlockId cb,
             engine_.onWriteCounter(level + 1, cb);
         if (out.reencrypt_blocks > 0) {
             const std::uint64_t first =
-                (cb / tree_.level(level + 1).coverage()) *
-                tree_.level(level + 1).coverage();
+                (cb / meta_[level + 1].coverage) *
+                meta_[level + 1].coverage;
             chargeOverflow(level + 1, first, out.reencrypt_blocks, now_ns);
         }
         // The parent counter block must be present and dirty.
         const addr::CounterBlockId parent =
-            cb / tree_.level(level + 1).coverage();
+            cb / meta_[level + 1].coverage;
         touchCounterBlock(level + 1, parent, true, now_ns);
     }
-    chargeDram(tree_.blockAddr(level, cb), true, now_ns, "ctr_write");
-    stats_.inc("ctr.writebacks");
+    chargeDram(meta_[level].base + (cb << addr::kBlockShift), true, now_ns,
+               h_.dram_ctr_write);
+    stats_.inc(h_.ctr_writebacks);
 }
 
 double
@@ -85,25 +124,25 @@ SecureMc::chargeOverflow(unsigned level, std::uint64_t first_entity,
     // Covered entities of a level-k overflow are data blocks (k = 0) or
     // level k-1 counter blocks (k >= 1); each is read and rewritten.
     addr::Addr base;
-    const char *category;
+    util::StatHandle category;
     if (level == 0) {
         base = first_entity * addr::kBlockSize;
-        category = "ovf0";
+        category = h_.dram_ovf0;
     } else {
-        base = tree_.blockAddr(level - 1, first_entity);
-        category = "ovf_hi";
+        base = meta_[level - 1].base + (first_entity << addr::kBlockShift);
+        category = h_.dram_ovf_hi;
     }
     const OverflowIssue issue = ovf_.schedule(base, blocks, now_ns);
     for (std::uint64_t i = 0; i < issue.accesses; ++i) {
-        stats_.inc(std::string("dram.") + category);
-        stats_.inc("dram.total");
+        stats_.inc(category);
+        stats_.inc(h_.dram_total);
         engine_.onDramAccess();
     }
-    stats_.inc("ovf.count");
+    stats_.inc(h_.ovf_count);
     if (level == 0)
-        stats_.inc("ovf.l0");
+        stats_.inc(h_.ovf_l0);
     else
-        stats_.inc("ovf.hi");
+        stats_.inc(h_.ovf_hi);
     return issue.stall_until_ns;
 }
 
@@ -116,27 +155,27 @@ SecureMc::chargeReadUpdate(unsigned level, std::uint64_t entity,
     // The whole counter block was releveled: every covered entity is
     // re-encrypted under the new shared counter (read + write each),
     // drained through the overflow engine like any block re-encryption.
-    stats_.inc("rmcc.read_updates");
+    stats_.inc(h_.rmcc_read_updates);
     if (consult.reencrypt_blocks > 0) {
-        const unsigned cov = tree_.level(level).coverage();
+        const unsigned cov = meta_[level].coverage;
         const std::uint64_t first = (entity / cov) * cov;
         chargeOverflow(level, first, consult.reencrypt_blocks, now_ns);
     }
     // Its counter block is now dirty.
-    touchCounterBlock(level, entity / tree_.level(level).coverage(), true,
-                      now_ns);
+    touchCounterBlock(level, entity / meta_[level].coverage, true, now_ns);
 }
 
 McReadResult
 SecureMc::read(addr::Addr paddr, double now_ns)
 {
     McReadResult res;
-    stats_.inc("mc.reads");
+    stats_.inc(h_.mc_reads);
 
-    const double data_done = chargeDram(paddr, false, now_ns, "data_read");
+    const double data_done =
+        chargeDram(paddr, false, now_ns, h_.dram_data_read);
     if (!cfg_.secure) {
         res.done_ns = data_done;
-        stats_.inc("lat.read_sum_ns", res.done_ns - now_ns);
+        stats_.inc(h_.lat_read_sum_ns, res.done_ns - now_ns);
         return res;
     }
 
@@ -145,16 +184,17 @@ SecureMc::read(addr::Addr paddr, double now_ns)
 
     // Walk up the tree until the counter cache hits (or the root).
     // entity[k] is the thing whose counter level k stores; block_id[k] is
-    // the counter block at level k that holds it.
-    std::vector<std::uint64_t> entity(levels + 1);
-    std::vector<addr::CounterBlockId> block_id(levels);
-    std::vector<double> known(levels + 1, now_ns);
+    // the counter block at level k that holds it.  Fixed-size stack
+    // scratch: this path runs per LLC miss and must not allocate.
+    std::uint64_t entity[kMaxLevels + 1];
+    addr::CounterBlockId block_id[kMaxLevels];
+    double known[kMaxLevels + 1];
+    std::fill(known, known + levels + 1, now_ns);
     entity[0] = blk;
     unsigned hit_level = levels; // levels = walked to the on-chip root
     for (unsigned k = 0; k < levels; ++k) {
-        block_id[k] = entity[k] / tree_.level(k).coverage();
-        if (k + 1 <= levels)
-            entity[k + 1] = block_id[k];
+        block_id[k] = entity[k] / meta_[k].coverage;
+        entity[k + 1] = block_id[k];
         const auto [t, missed] =
             touchCounterBlock(k, block_id[k], false, now_ns);
         known[k] = t;
@@ -162,16 +202,16 @@ SecureMc::read(addr::Addr paddr, double now_ns)
             hit_level = k;
             break;
         }
-        stats_.inc(k == 0 ? "ctr.l0_miss" : "ctr.hi_miss");
+        stats_.inc(k == 0 ? h_.ctr_l0_miss : h_.ctr_hi_miss);
     }
     res.counter_miss = hit_level != 0;
     if (!res.counter_miss)
-        stats_.inc("ctr.l0_hit");
+        stats_.inc(h_.ctr_l0_hit);
 
     // Consult RMCC for every counter value this read uses: level 0 always
     // (data OTPs), level k >= 1 only when level k-1's block was fetched
     // (its MAC needs the level-k value).
-    std::vector<core::ReadConsult> consult(levels + 1);
+    core::ReadConsult consult[kMaxLevels + 1];
     consult[0] = engine_.onReadCounterUse(0, entity[0]);
     chargeReadUpdate(0, entity[0], consult[0], now_ns);
     const unsigned walked = std::min(hit_level, levels);
@@ -182,18 +222,18 @@ SecureMc::read(addr::Addr paddr, double now_ns)
 
     res.memo_hit = consult[0].hit != core::MemoHit::Miss;
     if (res.counter_miss) {
-        stats_.inc("memo.l0_lookups_on_miss");
+        stats_.inc(h_.memo_lookups_on_miss);
         if (res.memo_hit) {
-            stats_.inc("memo.l0_hit_on_miss");
+            stats_.inc(h_.memo_hit_on_miss);
             if (consult[0].hit == core::MemoHit::GroupHit)
-                stats_.inc("memo.l0_group_hit_on_miss");
+                stats_.inc(h_.memo_group_hit_on_miss);
             else
-                stats_.inc("memo.l0_recent_hit_on_miss");
+                stats_.inc(h_.memo_recent_hit_on_miss);
         }
     }
     if (res.memo_hit)
-        stats_.inc("memo.l0_hit_all");
-    stats_.inc("memo.l0_lookups_all");
+        stats_.inc(h_.memo_hit_all);
+    stats_.inc(h_.memo_lookups_all);
 
     // Counter-value contribution latency at a level: memoized values need
     // only the CLMUL combine; otherwise AES runs after the value is known
@@ -209,7 +249,8 @@ SecureMc::read(addr::Addr paddr, double now_ns)
 
     // Verification chain from the trust point down to level 0.
     // verified[k] = when the level-k block fetched from memory is trusted.
-    std::vector<double> verified(levels + 1, now_ns);
+    double verified[kMaxLevels + 1];
+    std::fill(verified, verified + levels + 1, now_ns);
     if (hit_level < levels)
         verified[hit_level] = known[hit_level]; // cached => pre-verified
     for (int k = static_cast<int>(std::min(hit_level, levels)) - 1; k >= 0;
@@ -243,10 +284,10 @@ SecureMc::read(addr::Addr paddr, double now_ns)
             (levels > 1 && consult[1].hit != core::MemoHit::Miss);
         res.accelerated = l1_fast || hit_level >= levels;
         if (res.accelerated)
-            stats_.inc("memo.accelerated_misses");
+            stats_.inc(h_.memo_accelerated_misses);
     }
 
-    stats_.inc("lat.read_sum_ns", res.done_ns - now_ns);
+    stats_.inc(h_.lat_read_sum_ns, res.done_ns - now_ns);
     if (observer_)
         observer_->onDataRead(blk, res.memo_hit);
     return res;
@@ -255,19 +296,19 @@ SecureMc::read(addr::Addr paddr, double now_ns)
 double
 SecureMc::write(addr::Addr paddr, double now_ns)
 {
-    stats_.inc("mc.writes");
+    stats_.inc(h_.mc_writes);
     if (!cfg_.secure) {
-        chargeDram(paddr, true, now_ns, "data_write");
+        chargeDram(paddr, true, now_ns, h_.dram_data_write);
         return now_ns;
     }
 
     const addr::BlockId blk = addr::blockOf(paddr);
     const core::UpdateOutcome out = engine_.onWriteCounter(0, blk);
     if (out.used_memo_target)
-        stats_.inc("rmcc.memo_write_updates");
+        stats_.inc(h_.rmcc_memo_write_updates);
     double stall = now_ns;
     if (out.reencrypt_blocks > 0) {
-        const unsigned cov = tree_.level(0).coverage();
+        const unsigned cov = meta_[0].coverage;
         const std::uint64_t first = (blk / cov) * cov;
         stall = std::max(
             stall, chargeOverflow(0, first, out.reencrypt_blocks, now_ns));
@@ -275,11 +316,11 @@ SecureMc::write(addr::Addr paddr, double now_ns)
 
     // The L0 counter block is read-modified: it must be resident and
     // becomes dirty.
-    touchCounterBlock(0, blk / tree_.level(0).coverage(), true, now_ns);
+    touchCounterBlock(0, blk / meta_[0].coverage, true, now_ns);
 
     // Encrypt + write the data (posted; OTP generation is off the
     // critical path because the counter is already in the MC).
-    chargeDram(paddr, true, now_ns, "data_write");
+    chargeDram(paddr, true, now_ns, h_.dram_data_write);
     if (observer_)
         observer_->onDataWrite(blk);
     return stall;

@@ -8,7 +8,7 @@
 #define RMCC_MC_SECURE_MC_HPP
 
 #include <cstdint>
-#include <vector>
+#include <utility>
 
 #include "cache/set_assoc.hpp"
 #include "core/rmcc_engine.hpp"
@@ -100,9 +100,40 @@ class SecureMc
     void attachObserver(McObserver *observer) { observer_ = observer; }
 
   private:
+    /**
+     * Pre-resolved stat handles for every counter the data path touches.
+     * Resolved once at construction so read()/write() never perform a
+     * string-keyed registry lookup per event.
+     */
+    struct Handles
+    {
+        util::StatHandle dram_total;
+        util::StatHandle dram_data_read, dram_data_write;
+        util::StatHandle dram_ctr_read, dram_ctr_write;
+        util::StatHandle dram_ovf0, dram_ovf_hi;
+        util::StatHandle ctr_writebacks;
+        util::StatHandle ovf_count, ovf_l0, ovf_hi;
+        util::StatHandle rmcc_read_updates, rmcc_memo_write_updates;
+        util::StatHandle mc_reads, mc_writes, lat_read_sum_ns;
+        util::StatHandle ctr_l0_miss, ctr_hi_miss, ctr_l0_hit;
+        util::StatHandle memo_lookups_on_miss, memo_hit_on_miss;
+        util::StatHandle memo_group_hit_on_miss, memo_recent_hit_on_miss;
+        util::StatHandle memo_hit_all, memo_lookups_all;
+        util::StatHandle memo_accelerated_misses;
+    };
+
+    /** Per-level geometry snapshot taken from the integrity tree. */
+    struct LevelMeta
+    {
+        addr::Addr base;        //!< Address of the level's block 0.
+        addr::Addr end;         //!< One past the level's last block.
+        unsigned coverage;      //!< Entities per counter block.
+        double decode_ns;       //!< Scheme decode latency.
+    };
+
     /** One DRAM transfer with category accounting and epoch advance. */
     double chargeDram(addr::Addr a, bool is_write, double now_ns,
-                      const char *category);
+                      util::StatHandle category);
 
     /**
      * Ensure a counter block is present in the counter cache; returns the
@@ -124,6 +155,10 @@ class SecureMc
     void chargeReadUpdate(unsigned level, std::uint64_t entity,
                           const core::ReadConsult &consult, double now_ns);
 
+    //! Upper bound on integrity-tree depth; real trees over terabytes of
+    //! protected memory need at most ~7 levels at 64:1 arity.
+    static constexpr unsigned kMaxLevels = 16;
+
     McConfig cfg_;
     ctr::IntegrityTree &tree_;
     core::RmccEngine &engine_;
@@ -131,6 +166,8 @@ class SecureMc
     cache::SetAssocCache ctr_cache_;
     OverflowEngine ovf_;
     util::StatSet stats_;
+    Handles h_;
+    LevelMeta meta_[kMaxLevels] = {};
     McObserver *observer_ = nullptr;
 };
 

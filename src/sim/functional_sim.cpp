@@ -26,6 +26,9 @@ runFunctional(const std::string &workload_name,
     }
 
     util::StatSet side; // simulator-side counters (TLB, LLC events)
+    const util::StatHandle h_tlb_miss = side.handle("tlb.misses");
+    const util::StatHandle h_llc_miss = side.handle("sim.llc_misses");
+    const util::StatHandle h_llc_wb = side.handle("sim.llc_writebacks");
     util::StatSet mc_at_warm, side_at_warm;
     std::uint64_t instructions = 0, insts_at_warm = 0;
 
@@ -43,17 +46,17 @@ runFunctional(const std::string &workload_name,
         instructions += rec.inst_gap + 1;
 
         if (!rig.tlb.access(rec.vaddr))
-            side.inc("tlb.misses");
+            side.inc(h_tlb_miss);
         const addr::Addr paddr = rig.mapper.translate(rec.vaddr);
         const cache::HierarchyResult h =
             rig.hier.access(paddr, rec.is_write);
         if (h.llc_miss) {
-            side.inc("sim.llc_misses");
+            side.inc(h_llc_miss);
             rig.mc.read(paddr, fake_now);
             fake_now += 20.0;
         }
         if (h.memory_writeback) {
-            side.inc("sim.llc_writebacks");
+            side.inc(h_llc_wb);
             rig.mc.write(*h.memory_writeback, fake_now);
             fake_now += 20.0;
         }

@@ -15,6 +15,9 @@ runTiming(const std::string &workload_name,
     CpuModel cpu(cfg.cpu);
 
     util::StatSet side;
+    const util::StatHandle h_tlb_miss = side.handle("tlb.misses");
+    const util::StatHandle h_llc_miss = side.handle("sim.llc_misses");
+    const util::StatHandle h_llc_wb = side.handle("sim.llc_writebacks");
     util::StatSet mc_at_warm, side_at_warm;
     std::uint64_t insts_at_warm = 0;
     double time_at_warm = 0.0;
@@ -33,13 +36,13 @@ runTiming(const std::string &workload_name,
 
         const double issue = cpu.advance(rec.inst_gap);
         if (!rig.tlb.access(rec.vaddr))
-            side.inc("tlb.misses");
+            side.inc(h_tlb_miss);
         const addr::Addr paddr = rig.mapper.translate(rec.vaddr);
         const cache::HierarchyResult h =
             rig.hier.access(paddr, rec.is_write);
 
         if (h.llc_miss) {
-            side.inc("sim.llc_misses");
+            side.inc(h_llc_miss);
             const mc::McReadResult r =
                 rig.mc.read(paddr, issue + llc_lookup_ns);
             cpu.recordLongLatency(r.done_ns);
@@ -48,7 +51,7 @@ runTiming(const std::string &workload_name,
             cpu.recordLongLatency(issue + h.hit_latency_ns);
         }
         if (h.memory_writeback) {
-            side.inc("sim.llc_writebacks");
+            side.inc(h_llc_wb);
             const double stall =
                 rig.mc.write(*h.memory_writeback, cpu.now());
             cpu.stallUntil(stall);

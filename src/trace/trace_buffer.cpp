@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/log.hpp"
+
 namespace rmcc::trace
 {
 
@@ -13,23 +15,42 @@ TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity)
 void
 TraceBuffer::append(addr::Addr vaddr, bool is_write, std::uint32_t inst_gap)
 {
-    if (full())
+    if (full()) {
+        if (dropped_++ == 0)
+            util::warn("trace buffer full (%zu records): dropping further "
+                       "appends",
+                       records_.size());
         return;
-    records_.push_back({vaddr, inst_gap, is_write});
+    }
+    if (vaddr > kMaxRecordVaddr)
+        util::fatal("trace record vaddr 0x%llx exceeds 47 bits",
+                    static_cast<unsigned long long>(vaddr));
+    if (inst_gap > kMaxRecordGap)
+        util::fatal("trace record inst_gap %u exceeds 16 bits", inst_gap);
+    Record r{};
+    r.vaddr = vaddr;
+    r.inst_gap = inst_gap;
+    r.is_write = is_write;
+    records_.push_back(r);
     total_insts_ += 1 + inst_gap;
     writes_ += is_write ? 1 : 0;
+    distinct_valid_ = false;
 }
 
 std::uint64_t
 TraceBuffer::distinctBlocks() const
 {
+    if (distinct_valid_)
+        return distinct_cache_;
     std::vector<addr::BlockId> blocks;
     blocks.reserve(records_.size());
     for (const auto &r : records_)
         blocks.push_back(addr::blockOf(r.vaddr));
     std::sort(blocks.begin(), blocks.end());
     blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
-    return blocks.size();
+    distinct_cache_ = blocks.size();
+    distinct_valid_ = true;
+    return distinct_cache_;
 }
 
 } // namespace rmcc::trace

@@ -18,7 +18,9 @@ namespace rmcc::trace
  *
  * Workload models append to the buffer; generation stops automatically once
  * the configured capacity is reached (checked by the workload's isDone()
- * via full()).
+ * via full()).  Appends past capacity are counted in dropped() and warned
+ * about once — a workload that keeps generating after full() indicates a
+ * miswired loop, not data to discard silently.
  */
 class TraceBuffer
 {
@@ -26,7 +28,13 @@ class TraceBuffer
     /** Create a buffer that accepts up to capacity records. */
     explicit TraceBuffer(std::size_t capacity);
 
-    /** Append a load/store; silently dropped once full. */
+    /**
+     * Append a load/store.  Once full, the record is counted as dropped
+     * (with a one-time warning) instead of being stored.  Out-of-range
+     * values (vaddr above 47 bits, gap above 16) are fatal: the packed
+     * Record cannot represent them and truncation would silently corrupt
+     * the trace.
+     */
     void append(addr::Addr vaddr, bool is_write, std::uint32_t inst_gap);
 
     /** True once capacity records have been recorded. */
@@ -43,7 +51,13 @@ class TraceBuffer
     /** Number of writes recorded. */
     std::uint64_t writes() const { return writes_; }
 
-    /** Distinct 64 B blocks touched (exact, via sorted scan). */
+    /** Appends refused because the buffer was already full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /**
+     * Distinct 64 B blocks touched (exact).  Computed on first call and
+     * cached; appending invalidates the cache.
+     */
     std::uint64_t distinctBlocks() const;
 
   private:
@@ -51,6 +65,11 @@ class TraceBuffer
     std::vector<Record> records_;
     std::uint64_t total_insts_ = 0;
     std::uint64_t writes_ = 0;
+    std::uint64_t dropped_ = 0;
+    //! distinctBlocks() is O(n log n); reporting code calls it repeatedly
+    //! on a finished trace, so the result is memoized until an append.
+    mutable std::uint64_t distinct_cache_ = 0;
+    mutable bool distinct_valid_ = false;
 };
 
 } // namespace rmcc::trace

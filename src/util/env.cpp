@@ -60,4 +60,21 @@ envPositive(const char *name)
     return v;
 }
 
+std::string
+envChoice(const char *name, const std::vector<std::string> &choices,
+          const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || value[0] == '\0')
+        return fallback;
+    for (const std::string &c : choices)
+        if (c == value)
+            return c;
+    std::string expected = "one of {";
+    for (std::size_t i = 0; i < choices.size(); ++i)
+        expected += (i ? ", " : "") + choices[i];
+    expected += "}";
+    rejectValue(name, value, expected.c_str());
+}
+
 } // namespace rmcc::util

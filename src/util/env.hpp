@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 namespace rmcc::util
 {
@@ -38,6 +40,19 @@ std::uint64_t envUnsignedOr(const char *name, std::uint64_t fallback);
  * counts).  Unset/empty returns nullopt; zero throws like garbage does.
  */
 std::optional<std::uint64_t> envPositive(const char *name);
+
+/**
+ * Value of an enumerated environment variable (e.g. RMCC_CRYPTO_IMPL).
+ *
+ * @return fallback when the variable is unset or empty, otherwise the
+ *         matching choice.
+ * @throws std::runtime_error when the value matches none of the choices;
+ *         the message names the variable, quotes the value, and lists the
+ *         accepted spellings.  Matching is exact (case-sensitive).
+ */
+std::string envChoice(const char *name,
+                      const std::vector<std::string> &choices,
+                      const std::string &fallback);
 
 } // namespace rmcc::util
 

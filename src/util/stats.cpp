@@ -1,6 +1,7 @@
 #include "util/stats.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace rmcc::util
@@ -93,23 +94,34 @@ mean(const std::vector<double> &xs)
     return acc / static_cast<double>(xs.size());
 }
 
-void
-StatSet::inc(const std::string &name, double delta)
+namespace
 {
-    values_[name] += delta;
+
+//! Process-wide string-lookup counter; relaxed is enough for a monotonic
+//! diagnostic counter read only between simulation phases.
+std::atomic<std::uint64_t> g_string_lookups{0};
+
+} // namespace
+
+std::uint64_t
+StatSet::stringLookups()
+{
+    return g_string_lookups.load(std::memory_order_relaxed);
 }
 
-void
-StatSet::set(const std::string &name, double value)
+StatHandle
+StatSet::handle(const std::string &name)
 {
-    values_[name] = value;
+    g_string_lookups.fetch_add(1, std::memory_order_relaxed);
+    return StatHandle(slotFor(name));
 }
 
 double
 StatSet::get(const std::string &name) const
 {
-    const auto it = values_.find(name);
-    return it == values_.end() ? 0.0 : it->second;
+    g_string_lookups.fetch_add(1, std::memory_order_relaxed);
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0.0 : values_[it->second];
 }
 
 double
@@ -119,19 +131,55 @@ StatSet::ratio(const std::string &a, const std::string &b) const
     return denom == 0.0 ? 0.0 : get(a) / denom;
 }
 
+std::map<std::string, double>
+StatSet::all() const
+{
+    std::map<std::string, double> out;
+    for (const auto &[name, idx] : index_)
+        if (written_[idx])
+            out.emplace(name, values_[idx]);
+    return out;
+}
+
+std::uint32_t
+StatSet::slotFor(const std::string &name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    const auto idx = static_cast<std::uint32_t>(values_.size());
+    index_.emplace(name, idx);
+    values_.push_back(0.0);
+    written_.push_back(0);
+    return idx;
+}
+
 void
 StatSet::merge(const StatSet &other)
 {
-    for (const auto &[name, value] : other.values_)
-        values_[name] += value;
+    for (const auto &[name, idx] : other.index_) {
+        if (!other.written_[idx])
+            continue;
+        const std::uint32_t mine = slotFor(name);
+        values_[mine] += other.values_[idx];
+        written_[mine] = 1;
+    }
 }
 
 StatSet
 StatSet::diff(const StatSet &earlier) const
 {
     StatSet out;
-    for (const auto &[name, value] : values_)
-        out.set(name, value - earlier.get(name));
+    for (const auto &[name, idx] : index_) {
+        if (!written_[idx])
+            continue;
+        const auto it = earlier.index_.find(name);
+        const double base =
+            it == earlier.index_.end() ? 0.0 : earlier.values_[it->second];
+        const std::uint32_t slot = out.slotFor(name);
+        out.values_[slot] = values_[idx] - base;
+        out.written_[slot] = 1;
+    }
     return out;
 }
 

@@ -6,10 +6,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
+#include <string>
 
 #include "crypto/aes.hpp"
 #include "crypto/clmul.hpp"
+#include "crypto/dispatch.hpp"
 #include "crypto/mac.hpp"
 #include "crypto/otp.hpp"
 
@@ -397,3 +400,130 @@ TEST_P(OtpUniqueness, NoCollisionsInSmallGrid)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OtpUniqueness,
                          ::testing::Values(1, 17, 3141, 65537));
+
+// ---------------------------------------------------------------------------
+// Runtime crypto dispatch (RMCC_CRYPTO_IMPL): the hardware AES-NI /
+// PCLMULQDQ kernels and the software paths must be interchangeable
+// bit-for-bit.  Tests force both directions in-process via setenv +
+// reresolveCryptoDispatch() and restore the prior routing on exit.
+
+namespace
+{
+
+/** Scoped forced dispatch; restores the previous env + routing. */
+class ScopedImpl
+{
+  public:
+    explicit ScopedImpl(const char *impl)
+    {
+        const char *prev = std::getenv("RMCC_CRYPTO_IMPL");
+        had_prev_ = prev != nullptr;
+        if (had_prev_)
+            prev_ = prev;
+        setenv("RMCC_CRYPTO_IMPL", impl, 1);
+        rmcc::crypto::reresolveCryptoDispatch();
+    }
+
+    ~ScopedImpl()
+    {
+        if (had_prev_)
+            setenv("RMCC_CRYPTO_IMPL", prev_.c_str(), 1);
+        else
+            unsetenv("RMCC_CRYPTO_IMPL");
+        rmcc::crypto::reresolveCryptoDispatch();
+    }
+
+  private:
+    bool had_prev_ = false;
+    std::string prev_;
+};
+
+bool
+hwAvailable()
+{
+    const auto cpu = rmcc::crypto::detectCpuFeatures();
+    return cpu.aesni && cpu.pclmul;
+}
+
+} // namespace
+
+TEST(Dispatch, ForcedSwNeverUsesHardware)
+{
+    ScopedImpl sw("sw");
+    EXPECT_FALSE(rmcc::crypto::hwAesActive());
+    EXPECT_FALSE(rmcc::crypto::hwClmulActive());
+}
+
+TEST(Dispatch, ForcedHwPassesNistVectors)
+{
+    if (!hwAvailable())
+        GTEST_SKIP() << "CPU lacks AES-NI/PCLMULQDQ";
+    ScopedImpl hw("hw");
+    ASSERT_TRUE(rmcc::crypto::hwAesActive());
+    ASSERT_TRUE(rmcc::crypto::hwClmulActive());
+    // FIPS-197 Appendix C.1 / C.3 through the AES-NI kernel.
+    std::array<std::uint8_t, 16> key128;
+    for (int i = 0; i < 16; ++i)
+        key128[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    std::array<std::uint8_t, 32> key256;
+    for (int i = 0; i < 32; ++i)
+        key256[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    const Block128 pt = hexBlock("00112233445566778899aabbccddeeff");
+    EXPECT_EQ(Aes::fromKey128(key128).encrypt(pt),
+              hexBlock("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    EXPECT_EQ(Aes::fromKey256(key256).encrypt(pt),
+              hexBlock("8ea2b7ca516745bfeafc49904b496089"));
+}
+
+TEST(Dispatch, HwAndSwAgreeOnRandomBlocks)
+{
+    if (!hwAvailable())
+        GTEST_SKIP() << "CPU lacks AES-NI/PCLMULQDQ";
+    // 10k random (key, plaintext) pairs per primitive, each evaluated
+    // with the dispatch forced to both directions.
+    std::mt19937_64 rng(0xd15c0);
+    for (int trial = 0; trial < 10000; ++trial) {
+        const std::uint64_t seed = rng();
+        const Aes aes = Aes::fromSeed(seed, trial % 2 == 0
+                                                ? Aes::KeySize::k128
+                                                : Aes::KeySize::k256);
+        const Block128 pt = makeBlock(rng(), rng());
+        const Block128 a = makeBlock(rng(), rng());
+        const Block128 b = makeBlock(rng(), rng());
+        Block128 ct_hw, ct_sw;
+        U256 p_hw, p_sw;
+        {
+            ScopedImpl hw("hw");
+            ct_hw = aes.encrypt(pt);
+            p_hw = clmul128(a, b);
+        }
+        {
+            ScopedImpl sw("sw");
+            ct_sw = aes.encrypt(pt);
+            p_sw = clmul128(a, b);
+        }
+        ASSERT_EQ(ct_hw, ct_sw) << "AES mismatch at trial " << trial;
+        ASSERT_EQ(p_hw.limb, p_sw.limb)
+            << "CLMUL mismatch at trial " << trial;
+    }
+}
+
+TEST(Dispatch, ForcedHwThrowsWithoutCpuSupport)
+{
+    if (hwAvailable())
+        GTEST_SKIP() << "CPU supports the hardware kernels";
+    setenv("RMCC_CRYPTO_IMPL", "hw", 1);
+    EXPECT_THROW(rmcc::crypto::reresolveCryptoDispatch(),
+                 std::runtime_error);
+    unsetenv("RMCC_CRYPTO_IMPL");
+    rmcc::crypto::reresolveCryptoDispatch();
+}
+
+TEST(Dispatch, RejectsUnknownImplValue)
+{
+    setenv("RMCC_CRYPTO_IMPL", "fpga", 1);
+    EXPECT_THROW(rmcc::crypto::reresolveCryptoDispatch(),
+                 std::runtime_error);
+    unsetenv("RMCC_CRYPTO_IMPL");
+    rmcc::crypto::reresolveCryptoDispatch();
+}

@@ -165,3 +165,35 @@ TEST(Integration, Table1DescribeMentionsKeyRows)
           "FR-FCFS", "XOR-based"})
         EXPECT_NE(text.find(key), std::string::npos) << key;
 }
+
+TEST(Integration, RegistryLookupsIndependentOfTraceLength)
+{
+    // The hot loop must not consult the string-keyed stat registry per
+    // record: after a warm-up run, a 2x longer trace resolves exactly as
+    // many names as the short one.
+    NamedConfig nc = rmccConfig(SimMode::Timing);
+    shrink(nc.cfg);
+    const auto *w = wl::findWorkload("canneal");
+    const auto short_trace =
+        wl::generateTrace(*w, nc.cfg.trace_records, 42);
+    NamedConfig nc_long = nc;
+    nc_long.cfg.trace_records = 2 * nc.cfg.trace_records;
+    nc_long.cfg.warmup_records = 2 * nc.cfg.warmup_records;
+    const auto long_trace =
+        wl::generateTrace(*w, nc_long.cfg.trace_records, 42);
+
+    runTiming(w->name, short_trace, nc.cfg); // warm lazy registrations
+
+    const std::uint64_t base0 = util::StatSet::stringLookups();
+    runTiming(w->name, short_trace, nc.cfg);
+    const std::uint64_t short_lookups =
+        util::StatSet::stringLookups() - base0;
+
+    const std::uint64_t base1 = util::StatSet::stringLookups();
+    runTiming(w->name, long_trace, nc_long.cfg);
+    const std::uint64_t long_lookups =
+        util::StatSet::stringLookups() - base1;
+
+    EXPECT_EQ(short_lookups, long_lookups)
+        << "string-keyed stat lookups must not scale with trace length";
+}

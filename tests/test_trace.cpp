@@ -96,3 +96,41 @@ TEST(TracedHeap, InstructionGapsFollowDensity)
         static_cast<double>(buf.size());
     EXPECT_NEAR(mean, 6.0, 1.0);
 }
+
+TEST(TraceBuffer, DroppedCountsOverflowAppends)
+{
+    TraceBuffer buf(3);
+    EXPECT_EQ(buf.dropped(), 0u);
+    for (int i = 0; i < 10; ++i)
+        buf.append(64 * static_cast<std::uint64_t>(i), false, 0);
+    EXPECT_EQ(buf.size(), 3u);
+    EXPECT_EQ(buf.dropped(), 7u);
+    // Stats cover only retained records.
+    EXPECT_EQ(buf.totalInstructions(), 3u);
+    EXPECT_EQ(buf.writes(), 0u);
+}
+
+TEST(TraceBuffer, DistinctBlocksCacheInvalidatedByAppend)
+{
+    TraceBuffer buf(10);
+    buf.append(0, false, 0);
+    EXPECT_EQ(buf.distinctBlocks(), 1u);
+    EXPECT_EQ(buf.distinctBlocks(), 1u); // cached answer
+    buf.append(64, false, 0);            // append must invalidate it
+    EXPECT_EQ(buf.distinctBlocks(), 2u);
+    buf.append(96, true, 0); // same 64 B block as the previous record
+    EXPECT_EQ(buf.distinctBlocks(), 2u);
+}
+
+TEST(TraceRecord, PacksIntoEightBytes)
+{
+    static_assert(sizeof(Record) == 8);
+    TraceBuffer buf(2);
+    buf.append(kMaxRecordVaddr, true, kMaxRecordGap);
+    buf.append(0, false, 0);
+    EXPECT_EQ(buf.records()[0].vaddr, kMaxRecordVaddr);
+    EXPECT_EQ(buf.records()[0].inst_gap, kMaxRecordGap);
+    EXPECT_TRUE(buf.records()[0].is_write);
+    EXPECT_EQ(buf.records()[1].vaddr, 0u);
+    EXPECT_FALSE(buf.records()[1].is_write);
+}

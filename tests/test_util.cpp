@@ -324,6 +324,76 @@ TEST(StatSet, DiffIsWindowed)
     EXPECT_DOUBLE_EQ(d.get("y"), 2.0);
 }
 
+TEST(StatSet, HandleAndStringApiProduceIdenticalOutput)
+{
+    StatSet via_handle, via_string;
+    StatHandle hx = via_handle.handle("x.count");
+    StatHandle hy = via_handle.handle("y.sum");
+    EXPECT_TRUE(hx.valid());
+    via_handle.inc(hx);
+    via_handle.inc(hx, 2.5);
+    via_handle.set(hy, 7.0);
+    via_string.inc("x.count");
+    via_string.inc("x.count", 2.5);
+    via_string.set("y.sum", 7.0);
+    EXPECT_EQ(via_handle.all(), via_string.all());
+    EXPECT_DOUBLE_EQ(via_handle.get(hx), via_string.get("x.count"));
+    EXPECT_DOUBLE_EQ(via_handle.ratio("x.count", "y.sum"),
+                     via_string.ratio("x.count", "y.sum"));
+    StatSet d = via_handle.diff(via_string);
+    EXPECT_DOUBLE_EQ(d.get("x.count"), 0.0);
+}
+
+TEST(StatSet, RegisteredButUnwrittenSlotsStayInvisible)
+{
+    // Pre-resolving handles must not change reported results: a slot only
+    // appears in all()/merge()/diff() once inc()/set() touched it.
+    StatSet s;
+    s.handle("never.written");
+    s.inc("real", 3.0);
+    EXPECT_EQ(s.all().size(), 1u);
+    EXPECT_EQ(s.all().count("never.written"), 0u);
+    StatSet other;
+    other.merge(s);
+    EXPECT_EQ(other.all().size(), 1u);
+    StatSet d = s.diff(StatSet{});
+    EXPECT_EQ(d.all().size(), 1u);
+}
+
+TEST(StatSet, HandleOpsPerformNoStringLookups)
+{
+    StatSet s;
+    const StatHandle h = s.handle("hot.counter");
+    const std::uint64_t before = StatSet::stringLookups();
+    for (int i = 0; i < 1000; ++i)
+        s.inc(h);
+    s.set(h, 5.0);
+    (void)s.get(h);
+    EXPECT_EQ(StatSet::stringLookups(), before);
+    s.inc("hot.counter");
+    EXPECT_GT(StatSet::stringLookups(), before);
+}
+
+TEST(EnvParse, ChoiceAcceptsListedValuesOnly)
+{
+    const std::vector<std::string> choices = {"auto", "hw", "sw"};
+    unsetenv("RMCC_TEST_CHOICE");
+    EXPECT_EQ(envChoice("RMCC_TEST_CHOICE", choices, "auto"), "auto");
+    setenv("RMCC_TEST_CHOICE", "", 1);
+    EXPECT_EQ(envChoice("RMCC_TEST_CHOICE", choices, "auto"), "auto");
+    for (const char *good : {"auto", "hw", "sw"}) {
+        setenv("RMCC_TEST_CHOICE", good, 1);
+        EXPECT_EQ(envChoice("RMCC_TEST_CHOICE", choices, "auto"), good);
+    }
+    for (const char *bad : {"HW", " hw", "hw ", "banana", "auto,hw"}) {
+        setenv("RMCC_TEST_CHOICE", bad, 1);
+        EXPECT_THROW(envChoice("RMCC_TEST_CHOICE", choices, "auto"),
+                     std::runtime_error)
+            << "value '" << bad << "' should be rejected";
+    }
+    unsetenv("RMCC_TEST_CHOICE");
+}
+
 TEST(BitVec, RoundTripVariousWidths)
 {
     BitVec512 bits;
