@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/experiments.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -39,7 +40,7 @@ class ProgressReporter
     void done(const std::string &workload)
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        std::fputs((title_ + ": " + workload + " done\n").c_str(), stderr);
+        util::logInfo("%s: %s done", title_.c_str(), workload.c_str());
     }
 
   private:
@@ -137,9 +138,8 @@ emitCellErrors(const std::string &csv,
         std::remove(path.c_str());
         return;
     }
-    std::fprintf(stderr,
-                 "WARNING: %zu cell(s) failed or timed out; see %s\n", bad,
-                 path.c_str());
+    util::warn("%zu cell(s) failed or timed out; see %s", bad,
+               path.c_str());
 }
 
 /** Performance of config c normalized to config 0 (first column). */

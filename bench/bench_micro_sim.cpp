@@ -3,25 +3,33 @@
  * End-to-end simulator replay microbenchmark: generates one suite
  * workload trace and replays it through the timing simulator, reporting
  * host-side throughput (trace records/sec and simulated MC blocks/sec),
- * plus the crypto-kernel rates under the active dispatch and the forced
- * software path.  Results are written as machine-readable JSON
- * (BENCH_3.json by default) for the CI perf-smoke job.
+ * the crypto-kernel rates under the active dispatch and the forced
+ * software path, and the observability overhead (replay rate with
+ * RMCC_OBS unset vs off vs epochs vs full).  Results are written as
+ * machine-readable JSON (BENCH_5.json by default) for the CI perf-smoke
+ * job, which fails if RMCC_OBS=off costs more than 2% over the no-obs
+ * baseline.
  *
  * Knobs (environment):
  *   RMCC_BENCH_RECORDS  trace length (default 1000000)
  *   RMCC_BENCH_REPS     timed replay repetitions (default 3)
  *   RMCC_CRYPTO_IMPL    auto|hw|sw — which crypto path the replay uses
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "crypto/dispatch.hpp"
 #include "crypto/otp.hpp"
+#include "obs/registry.hpp"
 #include "sim/experiments.hpp"
 #include "sim/timing_sim.hpp"
 #include "util/env.hpp"
+#include "util/log.hpp"
 #include "workloads/registry.hpp"
 
 using namespace rmcc;
@@ -82,12 +90,50 @@ forceImpl(const char *impl)
     crypto::reresolveCryptoDispatch();
 }
 
+/**
+ * Best-of-reps replay throughput (records/sec) under the current
+ * environment.  Best-of (not mean) so one scheduler hiccup cannot turn
+ * the off-vs-baseline comparison into noise.
+ */
+double
+replayRecordsPerSec(const std::string &name,
+                    const trace::TraceBuffer &trace,
+                    const sim::SystemConfig &cfg, int reps,
+                    double *mc_blocks_per_run = nullptr)
+{
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        const auto t0 = Clock::now();
+        const sim::SimResult r = sim::runTiming(name, trace, cfg);
+        const double s = secondsSince(t0);
+        best = std::max(best, static_cast<double>(trace.size()) / s);
+        if (mc_blocks_per_run)
+            *mc_blocks_per_run =
+                r.stats.get("mc.reads") + r.stats.get("mc.writes");
+    }
+    return best;
+}
+
+/** Point the obs subsystem at `mode` (or unset) for the next replays. */
+void
+setObsMode(const char *mode, const std::string &dir)
+{
+    if (mode) {
+        setenv("RMCC_OBS", mode, 1);
+        setenv("RMCC_OBS_DIR", dir.c_str(), 1);
+    } else {
+        unsetenv("RMCC_OBS");
+        unsetenv("RMCC_OBS_DIR");
+    }
+    obs::reresolveObs();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const std::string out_path = argc > 1 ? argv[1] : "BENCH_3.json";
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_5.json";
     const auto records = static_cast<std::size_t>(
         util::envUnsignedOr("RMCC_BENCH_RECORDS", 1000000));
     const int reps =
@@ -102,18 +148,54 @@ main(int argc, char **argv)
     const trace::TraceBuffer trace =
         wl::generateTrace(w, nc.cfg.trace_records, nc.cfg.seed);
 
+    // The replay baseline must not be skewed by an inherited RMCC_OBS.
+    setObsMode(nullptr, "");
     sim::runTiming(w.name, trace, nc.cfg); // warm caches + allocator
     double mc_blocks_per_run = 0.0;
-    const auto replay_t0 = Clock::now();
-    for (int i = 0; i < reps; ++i) {
-        const sim::SimResult r = sim::runTiming(w.name, trace, nc.cfg);
-        mc_blocks_per_run =
-            r.stats.get("mc.reads") + r.stats.get("mc.writes");
+    const double rps_baseline = replayRecordsPerSec(
+        w.name, trace, nc.cfg, reps, &mc_blocks_per_run);
+    const double blocks_per_sec =
+        rps_baseline / static_cast<double>(trace.size()) *
+        mc_blocks_per_run;
+
+    // --- Observability overhead: off must be within noise of baseline;
+    // epochs/full show the cost of sampling and tracing.  The
+    // baseline/off comparison runs as back-to-back pairs (order
+    // alternating pair to pair) and reports the median per-pair ratio, so
+    // host-side drift and outlier reps cancel instead of biasing
+    // whichever mode happened to run later.
+    const std::string obs_dir = "rmcc-obs-bench";
+    double rps_base_i = 0.0, rps_off = 0.0;
+    std::vector<double> pair_ratios;
+    for (int i = 0; i < std::max(reps, 5); ++i) {
+        double base, off;
+        if (i % 2 == 0) {
+            setObsMode(nullptr, "");
+            base = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
+            setObsMode("off", obs_dir);
+            off = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
+        } else {
+            setObsMode("off", obs_dir);
+            off = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
+            setObsMode(nullptr, "");
+            base = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
+        }
+        rps_base_i = std::max(rps_base_i, base);
+        rps_off = std::max(rps_off, off);
+        pair_ratios.push_back(off / base);
     }
-    const double replay_sec = secondsSince(replay_t0);
-    const double records_per_sec =
-        reps * static_cast<double>(trace.size()) / replay_sec;
-    const double blocks_per_sec = reps * mc_blocks_per_run / replay_sec;
+    std::sort(pair_ratios.begin(), pair_ratios.end());
+    const double median_ratio = pair_ratios[pair_ratios.size() / 2];
+    setObsMode("epochs", obs_dir);
+    const double rps_epochs =
+        replayRecordsPerSec(w.name, trace, nc.cfg, reps);
+    setObsMode("full", obs_dir);
+    const double rps_full =
+        replayRecordsPerSec(w.name, trace, nc.cfg, reps);
+    setObsMode(nullptr, "");
+    std::error_code ec;
+    std::filesystem::remove_all(obs_dir, ec);
+    const double off_overhead_pct = (1.0 - median_ratio) * 100.0;
 
     // --- Crypto kernels: active dispatch, then forced software.
     const crypto::CpuFeatures cpu = crypto::detectCpuFeatures();
@@ -136,8 +218,11 @@ main(int argc, char **argv)
 
     std::printf("replay: workload=%s records=%zu reps=%d -> "
                 "%.0f records/sec, %.0f mc-blocks/sec\n",
-                w.name.c_str(), trace.size(), reps, records_per_sec,
+                w.name.c_str(), trace.size(), reps, rps_baseline,
                 blocks_per_sec);
+    std::printf("obs:    off %.0f rec/s (%+.2f%% vs baseline), "
+                "epochs %.0f rec/s, full %.0f rec/s\n",
+                rps_off, -off_overhead_pct, rps_epochs, rps_full);
     std::printf("crypto: aes128 %.2fM blk/s (active%s), %.2fM blk/s (sw); "
                 "clmul128 %.2fM op/s (active), %.2fM op/s (sw)\n",
                 aes_active / 1e6, hw_aes ? ", hw" : ", sw",
@@ -146,7 +231,7 @@ main(int argc, char **argv)
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (!f) {
-        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        util::logError("cannot open %s", out_path.c_str());
         return 1;
     }
     std::fprintf(f,
@@ -156,9 +241,15 @@ main(int argc, char **argv)
                  "    \"workload\": \"%s\",\n"
                  "    \"records\": %zu,\n"
                  "    \"reps\": %d,\n"
-                 "    \"elapsed_sec\": %.6f,\n"
                  "    \"records_per_sec\": %.1f,\n"
                  "    \"blocks_per_sec\": %.1f\n"
+                 "  },\n"
+                 "  \"obs\": {\n"
+                 "    \"records_per_sec_baseline\": %.1f,\n"
+                 "    \"records_per_sec_off\": %.1f,\n"
+                 "    \"records_per_sec_epochs\": %.1f,\n"
+                 "    \"records_per_sec_full\": %.1f,\n"
+                 "    \"off_overhead_pct\": %.3f\n"
                  "  },\n"
                  "  \"crypto\": {\n"
                  "    \"cpu_aesni\": %s,\n"
@@ -172,8 +263,9 @@ main(int argc, char **argv)
                  "  },\n"
                  "  \"suite_wall_clock_sec\": %.6f\n"
                  "}\n",
-                 w.name.c_str(), trace.size(), reps, replay_sec,
-                 records_per_sec, blocks_per_sec,
+                 w.name.c_str(), trace.size(), reps, rps_baseline,
+                 blocks_per_sec, rps_base_i, rps_off, rps_epochs,
+                 rps_full, off_overhead_pct,
                  cpu.aesni ? "true" : "false",
                  cpu.pclmul ? "true" : "false",
                  hw_aes ? "true" : "false", hw_clmul ? "true" : "false",

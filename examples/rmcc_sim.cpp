@@ -43,7 +43,14 @@ usage()
         "  --counter-cache-kb N   counter cache size (default 128)\n"
         "  --pages P         huge (default) | small\n"
         "  --seed N          experiment seed (default 42)\n"
-        "  --verbose         dump every statistic");
+        "  --verbose         dump every statistic\n"
+        "environment:\n"
+        "  RMCC_OBS=off|epochs|full    observability (default off):\n"
+        "    epochs writes per-cell epoch CSVs + latency histograms,\n"
+        "    full adds Chrome-trace JSON (load in Perfetto)\n"
+        "  RMCC_OBS_DIR=PATH           output dir (default rmcc-obs)\n"
+        "  RMCC_OBS_EPOCH_RECORDS=N    records per epoch (default 10000)\n"
+        "  RMCC_LOG_LEVEL=debug|info|warn|error|silent  (default info)");
 }
 
 } // namespace

@@ -70,6 +70,12 @@ class IntegrityTree
     /** Total overflow events across all levels. */
     std::uint64_t totalOverflows() const;
 
+    /** Overflow events at one level (observability probe). */
+    std::uint64_t overflowsAt(unsigned k) const
+    {
+        return schemes_[k]->overflows();
+    }
+
   private:
     SchemeKind kind_;
     addr::MemoryLayout layout_;

@@ -234,7 +234,9 @@ Block128
 Aes::encrypt(const Block128 &plaintext) const
 {
     assert(rounds_ == 10 || rounds_ == 14);
-    if (detail::dispatchState().hw_aes)
+    const bool hw = detail::dispatchState().hw_aes;
+    detail::countAes(hw);
+    if (hw)
         return detail::aesEncryptHw(round_key_bytes_.data(), rounds_,
                                     plaintext);
     const EncTables &T = encTables();

@@ -70,7 +70,9 @@ toLimbs(const Block128 &b)
 U256
 clmul128(const Block128 &a, const Block128 &b)
 {
-    if (detail::dispatchState().hw_clmul)
+    const bool hw = detail::dispatchState().hw_clmul;
+    detail::countClmul(hw);
+    if (hw)
         return detail::clmul128Hw(a, b);
     const auto [a_hi, a_lo] = toLimbs(a);
     const auto [b_hi, b_lo] = toLimbs(b);

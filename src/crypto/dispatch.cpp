@@ -37,8 +37,37 @@ configuredCryptoImpl()
     return CryptoImpl::Auto;
 }
 
+CryptoOpCounts
+cryptoOpCounts()
+{
+    CryptoOpCounts c;
+    c.aes_hw = detail::g_aes_hw.load(std::memory_order_relaxed);
+    c.aes_sw = detail::g_aes_sw.load(std::memory_order_relaxed);
+    c.clmul_hw = detail::g_clmul_hw.load(std::memory_order_relaxed);
+    c.clmul_sw = detail::g_clmul_sw.load(std::memory_order_relaxed);
+    return c;
+}
+
+void
+setCryptoOpCounting(bool on)
+{
+    detail::g_count_ops.store(on, std::memory_order_relaxed);
+}
+
+bool
+cryptoOpCountingEnabled()
+{
+    return detail::g_count_ops.load(std::memory_order_relaxed);
+}
+
 namespace detail
 {
+
+std::atomic<bool> g_count_ops{false};
+std::atomic<std::uint64_t> g_aes_hw{0};
+std::atomic<std::uint64_t> g_aes_sw{0};
+std::atomic<std::uint64_t> g_clmul_hw{0};
+std::atomic<std::uint64_t> g_clmul_sw{0};
 
 namespace
 {

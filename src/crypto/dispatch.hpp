@@ -18,6 +18,7 @@
 #ifndef RMCC_CRYPTO_DISPATCH_HPP
 #define RMCC_CRYPTO_DISPATCH_HPP
 
+#include <atomic>
 #include <cstdint>
 
 #include "crypto/clmul.hpp"
@@ -61,8 +62,55 @@ bool hwClmulActive();
  */
 void reresolveCryptoDispatch();
 
+/**
+ * Process-global crypto operation counts, split by routing.  Maintained
+ * only while setCryptoOpCounting(true) is active (observability turns it
+ * on); otherwise the kernels pay a single relaxed bool load.  Counts are
+ * cumulative across the process — consumers (the obs epoch sampler) take
+ * deltas, and a parallel suite mixes cells' operations together.
+ */
+struct CryptoOpCounts
+{
+    std::uint64_t aes_hw = 0;   //!< AES block encryptions via AES-NI.
+    std::uint64_t aes_sw = 0;   //!< AES block encryptions in software.
+    std::uint64_t clmul_hw = 0; //!< 128-bit clmuls via PCLMULQDQ.
+    std::uint64_t clmul_sw = 0; //!< 128-bit clmuls in software.
+};
+
+/** Snapshot the global counters (all zero until counting is enabled). */
+CryptoOpCounts cryptoOpCounts();
+
+/** Enable/disable op counting; counters keep their values when off. */
+void setCryptoOpCounting(bool on);
+
+/** True when kernels currently increment the op counters. */
+bool cryptoOpCountingEnabled();
+
 namespace detail
 {
+
+//! Counting gate + counters; relaxed atomics, hot-path cost when
+//! disabled is one non-contended load.
+extern std::atomic<bool> g_count_ops;
+extern std::atomic<std::uint64_t> g_aes_hw;
+extern std::atomic<std::uint64_t> g_aes_sw;
+extern std::atomic<std::uint64_t> g_clmul_hw;
+extern std::atomic<std::uint64_t> g_clmul_sw;
+
+inline void
+countAes(bool hw)
+{
+    if (g_count_ops.load(std::memory_order_relaxed))
+        (hw ? g_aes_hw : g_aes_sw).fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void
+countClmul(bool hw)
+{
+    if (g_count_ops.load(std::memory_order_relaxed))
+        (hw ? g_clmul_hw : g_clmul_sw)
+            .fetch_add(1, std::memory_order_relaxed);
+}
 
 /** Resolved routing; read per call by the dispatching entry points. */
 struct DispatchState

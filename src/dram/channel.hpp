@@ -54,6 +54,9 @@ class Channel
     const ChannelStats &stats() const { return stats_; }
     void resetStats() { stats_ = ChannelStats(); }
 
+    /** Time the shared data bus is committed through (observability). */
+    double busFreeNs() const { return bus_free_ns_; }
+
   private:
     /** Apply refresh blackout for a rank to a candidate issue time. */
     double refreshAdjust(unsigned rank, double t_ns);

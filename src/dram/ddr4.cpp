@@ -1,5 +1,7 @@
 #include "dram/ddr4.hpp"
 
+#include <algorithm>
+
 namespace rmcc::dram
 {
 
@@ -40,6 +42,15 @@ Ddr4::aggregateStats() const
         agg.bus_busy_ns += s.bus_busy_ns;
     }
     return agg;
+}
+
+double
+Ddr4::busBacklogNs(double now_ns) const
+{
+    double backlog = 0.0;
+    for (const auto &c : channels_)
+        backlog = std::max(backlog, c.busFreeNs() - now_ns);
+    return backlog;
 }
 
 void

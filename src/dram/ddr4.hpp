@@ -39,6 +39,14 @@ class Ddr4
 
     void resetStats();
 
+    /**
+     * Queue-depth proxy for observability: the furthest any channel's
+     * data bus is committed beyond now_ns (0 when all buses are free).
+     * The model has no explicit request queue — bus backlog is the
+     * closest analogue of one.
+     */
+    double busBacklogNs(double now_ns) const;
+
   private:
     DramConfig cfg_;
     AddressMapper mapper_;

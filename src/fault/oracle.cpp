@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/registry.hpp"
+
 namespace rmcc::fault
 {
 
@@ -539,6 +541,9 @@ DetectionOracle::finalizePending(FaultOutcome outcome, const Verdict &v)
         break;
     }
     memo_fault_.reset();
+    if (outcome == FaultOutcome::Detected)
+        obs::instantGlobal(obs::InstantKind::FaultDetected,
+                           siteName(rec.combo.site));
     stats_.add(rec);
     records_.push_back(std::move(rec));
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
 #include "util/log.hpp"
 
 namespace rmcc::mc
@@ -62,7 +63,10 @@ SecureMc::chargeDram(addr::Addr a, bool is_write, double now_ns,
     stats_.inc(category);
     stats_.inc(h_.dram_total);
     engine_.onDramAccess();
-    return dram_.access(a, is_write, now_ns).done_ns;
+    const double done = dram_.access(a, is_write, now_ns).done_ns;
+    if (obs_)
+        obs_->recordLatency(obs::LatencyHist::Dram, done - now_ns);
+    return done;
 }
 
 std::pair<double, bool>
@@ -143,6 +147,9 @@ SecureMc::chargeOverflow(unsigned level, std::uint64_t first_entity,
         stats_.inc(h_.ovf_l0);
     else
         stats_.inc(h_.ovf_hi);
+    if (obs_)
+        obs_->instant(level == 0 ? obs::InstantKind::CounterOverflowL0
+                                 : obs::InstantKind::CounterOverflowHi);
     return issue.stall_until_ns;
 }
 
@@ -156,6 +163,8 @@ SecureMc::chargeReadUpdate(unsigned level, std::uint64_t entity,
     // re-encrypted under the new shared counter (read + write each),
     // drained through the overflow engine like any block re-encryption.
     stats_.inc(h_.rmcc_read_updates);
+    if (obs_)
+        obs_->instant(obs::InstantKind::Rebase);
     if (consult.reencrypt_blocks > 0) {
         const unsigned cov = meta_[level].coverage;
         const std::uint64_t first = (entity / cov) * cov;
@@ -176,6 +185,9 @@ SecureMc::read(addr::Addr paddr, double now_ns)
     if (!cfg_.secure) {
         res.done_ns = data_done;
         stats_.inc(h_.lat_read_sum_ns, res.done_ns - now_ns);
+        if (obs_)
+            obs_->recordLatency(obs::LatencyHist::McRead,
+                                res.done_ns - now_ns);
         return res;
     }
 
@@ -288,6 +300,11 @@ SecureMc::read(addr::Addr paddr, double now_ns)
     }
 
     stats_.inc(h_.lat_read_sum_ns, res.done_ns - now_ns);
+    if (obs_) {
+        obs_->recordLatency(obs::LatencyHist::McRead, res.done_ns - now_ns);
+        obs_->recordLatency(obs::LatencyHist::MacVerify,
+                            data_verified - now_ns);
+    }
     if (observer_)
         observer_->onDataRead(blk, res.memo_hit);
     return res;

@@ -18,6 +18,11 @@
 #include "mc/overflow_engine.hpp"
 #include "util/stats.hpp"
 
+namespace rmcc::obs
+{
+class Registry;
+}
+
 namespace rmcc::mc
 {
 
@@ -99,6 +104,15 @@ class SecureMc
      */
     void attachObserver(McObserver *observer) { observer_ = observer; }
 
+    /**
+     * Attach (or detach, with nullptr) the run's observability registry.
+     * Off (null, the default) costs one branch per event; when attached
+     * the controller feeds latency histograms (read, DRAM, MAC verify)
+     * and rare-event instants (overflow, rebase).  Pure reads only — the
+     * registry never alters timing or stats.
+     */
+    void attachObs(obs::Registry *obs) { obs_ = obs; }
+
   private:
     /**
      * Pre-resolved stat handles for every counter the data path touches.
@@ -169,6 +183,7 @@ class SecureMc
     Handles h_;
     LevelMeta meta_[kMaxLevels] = {};
     McObserver *observer_ = nullptr;
+    obs::Registry *obs_ = nullptr;
 };
 
 } // namespace rmcc::mc

@@ -1,0 +1,80 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rmcc::obs
+{
+
+void
+Log2Histogram::add(double v)
+{
+    if (!(v > 0.0)) // negatives and NaN clamp into bucket 0
+        v = 0.0;
+    ++counts_[bucketOf(v)];
+    ++total_;
+    sum_ += v;
+    max_ = std::max(max_, v);
+}
+
+std::size_t
+Log2Histogram::bucketOf(double v)
+{
+    if (!(v >= 1.0))
+        return 0;
+    // ilogb(v) = floor(log2(v)) >= 0 here; bucket i covers [2^(i-1), 2^i).
+    const int e = std::ilogb(v);
+    return std::min<std::size_t>(kBuckets - 1,
+                                 static_cast<std::size_t>(e) + 1);
+}
+
+double
+Log2Histogram::bucketLow(std::size_t i)
+{
+    return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+double
+Log2Histogram::bucketHigh(std::size_t i)
+{
+    return std::ldexp(1.0, static_cast<int>(i));
+}
+
+double
+Log2Histogram::quantile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(total_))));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cum += counts_[i];
+        if (cum >= rank)
+            return std::min(bucketHigh(i), max_);
+    }
+    return max_;
+}
+
+HistSummary
+Log2Histogram::summary() const
+{
+    HistSummary s;
+    s.count = total_;
+    s.mean = mean();
+    s.p50 = quantile(0.50);
+    s.p95 = quantile(0.95);
+    s.p99 = quantile(0.99);
+    s.max = max();
+    return s;
+}
+
+void
+Log2Histogram::reset()
+{
+    *this = Log2Histogram();
+}
+
+} // namespace rmcc::obs

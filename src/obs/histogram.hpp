@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Log2-bucketed histogram for latency/value distributions.
+ *
+ * The observability layer records per-request latencies on hot paths, so
+ * the histogram must be O(1) per sample with no allocation: 64 fixed
+ * power-of-two buckets cover the full double range that latencies (in ns)
+ * occupy.  Bucket 0 holds samples below 1; bucket i >= 1 holds
+ * [2^(i-1), 2^i).  Quantiles are conservative upper bounds: the reported
+ * p-quantile is the upper edge of the bucket containing the rank-p sample,
+ * clamped to the exact observed maximum — "p99 <= X" is the statement a
+ * latency budget needs, and it is exact whenever the true quantile sits on
+ * a bucket edge.
+ */
+#ifndef RMCC_OBS_HISTOGRAM_HPP
+#define RMCC_OBS_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rmcc::obs
+{
+
+/** Fixed summary emitted per histogram in the obs CSV. */
+struct HistSummary
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/**
+ * 64-bucket log2 histogram over non-negative doubles.
+ */
+class Log2Histogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 64;
+
+    /** Record one sample; negatives clamp to 0 (bucket 0). */
+    void add(double v);
+
+    /** Total samples recorded. */
+    std::uint64_t count() const { return total_; }
+
+    /** Exact largest sample (0 when empty). */
+    double max() const { return total_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const
+    {
+        return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+    }
+
+    /** Count in bucket i (0 <= i < kBuckets). */
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+
+    /** Bucket index a sample lands in. */
+    static std::size_t bucketOf(double v);
+
+    /** Inclusive lower edge of bucket i (0 for bucket 0). */
+    static double bucketLow(std::size_t i);
+
+    /** Exclusive upper edge of bucket i. */
+    static double bucketHigh(std::size_t i);
+
+    /**
+     * Conservative p-quantile (0 <= p <= 1): upper edge of the bucket
+     * holding the ceil(p * count)-th smallest sample, clamped to max().
+     * Returns 0 when empty.
+     */
+    double quantile(double p) const;
+
+    /** count/mean/p50/p95/p99/max in one call. */
+    HistSummary summary() const;
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::uint64_t counts_[kBuckets] = {};
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace rmcc::obs
+
+#endif // RMCC_OBS_HISTOGRAM_HPP

@@ -1,0 +1,143 @@
+#include "obs/trace_writer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "util/log.hpp"
+
+namespace rmcc::obs
+{
+
+TraceWriter::TraceWriter(std::size_t max_events)
+    : max_events_(max_events), t0_(std::chrono::steady_clock::now())
+{
+    events_.reserve(std::min<std::size_t>(max_events, 4096));
+}
+
+double
+TraceWriter::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+}
+
+void
+TraceWriter::push(Event e)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= max_events_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(e));
+}
+
+void
+TraceWriter::complete(const std::string &name, double ts_us, double dur_us,
+                      int tid, const std::string &args_json)
+{
+    push({name, 'X', ts_us, dur_us, tid, args_json});
+}
+
+void
+TraceWriter::instant(const std::string &name, int tid,
+                     const std::string &args_json)
+{
+    push({name, 'i', nowUs(), 0.0, tid, args_json});
+}
+
+std::size_t
+TraceWriter::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::uint64_t
+TraceWriter::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::string
+TraceWriter::jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+TraceWriter::writeJson(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ofstream f(path);
+    if (!f) {
+        util::warn("obs: cannot write trace file %s", path.c_str());
+        return false;
+    }
+    f << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            f << ",";
+        first = false;
+        f << "\n";
+    };
+    // Lane labels: one thread_name metadata event per tid seen.
+    std::set<int> tids;
+    for (const Event &e : events_)
+        tids.insert(e.tid);
+    for (const int tid : tids) {
+        sep();
+        const std::string lane =
+            tid == 0 ? "main" : "worker-" + std::to_string(tid - 1);
+        f << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+          << tid << ",\"args\":{\"name\":\"" << lane << "\"}}";
+    }
+    char num[64];
+    for (const Event &e : events_) {
+        sep();
+        f << "{\"name\":\"" << jsonEscape(e.name) << "\",\"ph\":\"" << e.ph
+          << "\",\"pid\":1,\"tid\":" << e.tid;
+        std::snprintf(num, sizeof num, "%.3f", e.ts_us);
+        f << ",\"ts\":" << num;
+        if (e.ph == 'X') {
+            std::snprintf(num, sizeof num, "%.3f", e.dur_us);
+            f << ",\"dur\":" << num;
+        }
+        if (e.ph == 'i')
+            f << ",\"s\":\"t\"";
+        if (!e.args.empty())
+            f << ",\"args\":" << e.args;
+        f << "}";
+    }
+    f << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    if (dropped_ > 0)
+        util::warn("obs: trace event cap reached; %llu event(s) dropped",
+                   static_cast<unsigned long long>(dropped_));
+    return static_cast<bool>(f);
+}
+
+} // namespace rmcc::obs

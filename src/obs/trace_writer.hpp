@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Chrome trace-event JSON writer (chrome://tracing / Perfetto loadable).
+ *
+ * Collects complete ("X"), instant ("i"), and thread-metadata ("M")
+ * events in memory and serializes them as one
+ * {"traceEvents": [...]} document.  The writer is shared by every thread
+ * of a process run (suite-runner workers emit cell events concurrently),
+ * so event recording is mutex-guarded; the recording rate is bounded by
+ * design — duration events per experiment cell and capped instants for
+ * rare occurrences — so the lock is never on a simulator hot path.
+ *
+ * Lane convention: tid 0 is the main thread, tid k >= 1 is thread-pool
+ * worker k-1 (util::currentWorkerId() + 1).  writeJson() emits matching
+ * thread_name metadata so the lanes are labeled in the viewer.
+ */
+#ifndef RMCC_OBS_TRACE_WRITER_HPP
+#define RMCC_OBS_TRACE_WRITER_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rmcc::obs
+{
+
+/**
+ * Thread-safe in-memory Chrome trace-event collector.
+ */
+class TraceWriter
+{
+  public:
+    /** @param max_events cap on stored events; excess is counted, not kept. */
+    explicit TraceWriter(std::size_t max_events = 200000);
+
+    /** Microseconds since construction (the trace timebase). */
+    double nowUs() const;
+
+    /**
+     * Record a complete ("X") duration event.
+     * @param args_json rendered JSON object for "args" ("" = none).
+     */
+    void complete(const std::string &name, double ts_us, double dur_us,
+                  int tid, const std::string &args_json = "");
+
+    /** Record a thread-scoped instant ("i") event at the current time. */
+    void instant(const std::string &name, int tid,
+                 const std::string &args_json = "");
+
+    /** Events recorded (excluding dropped ones). */
+    std::size_t size() const;
+
+    /** Events refused because the cap was reached. */
+    std::uint64_t dropped() const;
+
+    /**
+     * Serialize everything (plus thread_name metadata per seen lane) to
+     * path as {"traceEvents": [...]}.  @return false if the file could
+     * not be opened.
+     */
+    bool writeJson(const std::string &path) const;
+
+    /** Escape a string for embedding in a JSON string literal. */
+    static std::string jsonEscape(const std::string &s);
+
+  private:
+    struct Event
+    {
+        std::string name;
+        char ph;
+        double ts_us;
+        double dur_us; // "X" only
+        int tid;
+        std::string args; // rendered JSON object or empty
+    };
+
+    void push(Event e);
+
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+    std::size_t max_events_;
+    std::uint64_t dropped_ = 0;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace rmcc::obs
+
+#endif // RMCC_OBS_TRACE_WRITER_HPP

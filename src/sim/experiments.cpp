@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "obs/registry.hpp"
 #include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
@@ -117,6 +118,9 @@ runCellGuarded(const std::string &workload_name,
 
     CellStatus st;
     for (std::uint64_t attempt = 0; attempt <= retries; ++attempt) {
+        if (attempt > 0)
+            obs::instantGlobal(obs::InstantKind::CellRetry,
+                               workload_name + "/" + nc.label);
         st.attempts = static_cast<unsigned>(attempt + 1);
         const auto t0 = std::chrono::steady_clock::now();
         try {
@@ -157,6 +161,9 @@ SuiteRow
 runWorkload(const wl::Workload &w, const std::vector<NamedConfig> &configs)
 {
     validateTraceShape(configs);
+    // Resolve RMCC_OBS* outside the per-cell guard: a malformed variable
+    // is a caller error, not a per-cell failure to retry.
+    obs::session();
     SuiteRow row;
     row.workload = w.name;
     row.results.resize(configs.size());
@@ -190,6 +197,8 @@ std::vector<SuiteRow>
 runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
 {
     validateTraceShape(configs);
+    obs::session(); // strict RMCC_OBS* parsing fails loudly up front
+
     const std::vector<wl::Workload> &suite = wl::workloadSuite();
     const unsigned jobs = suiteJobs();
 

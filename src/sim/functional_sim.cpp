@@ -1,6 +1,7 @@
 #include "sim/functional_sim.hpp"
 
 #include "fault/campaign.hpp"
+#include "sim/obs_wiring.hpp"
 #include "sim/rig.hpp"
 
 namespace rmcc::sim
@@ -36,6 +37,15 @@ runFunctional(const std::string &workload_name,
     // substrates in a sane regime; no timing conclusions are drawn from
     // functional runs.
     double fake_now = 0.0;
+
+    std::unique_ptr<obs::Registry> obs =
+        obs::makeRunRegistry(detail::cellName(workload_name, cfg));
+    if (obs) {
+        detail::registerRigProbes(*obs, rig, trace,
+                                  [&fake_now] { return fake_now; });
+        rig.mc.attachObs(obs.get());
+    }
+
     std::size_t i = 0;
     for (const trace::Record &rec : trace.records()) {
         if (i++ == cfg.warmup_records) {
@@ -62,9 +72,15 @@ runFunctional(const std::string &workload_name,
         }
         if (campaign != nullptr && cfg.secure)
             campaign->afterRecord();
+        if (obs)
+            obs->tick();
     }
     if (campaign != nullptr && cfg.secure)
         rig.mc.attachObserver(nullptr);
+    if (obs) {
+        rig.mc.attachObs(nullptr);
+        obs->finish();
+    }
 
     SimResult res;
     res.workload = workload_name;

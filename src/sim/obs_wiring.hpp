@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Internal: observability wiring shared by both simulators — the cell
+ * naming scheme and the standard probe catalog registered over a SimRig.
+ *
+ * Both runTiming() and runFunctional() create their run registry with
+ * makeRunRegistry(cellName(...)), register the probes here, attach the
+ * registry to the secure MC, and tick() it once per trace record.  All
+ * probes are pure reads, so sampling cannot perturb the simulated
+ * results (the RMCC_OBS=off bit-identity guarantee).
+ */
+#ifndef RMCC_SIM_OBS_WIRING_HPP
+#define RMCC_SIM_OBS_WIRING_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "crypto/dispatch.hpp"
+#include "obs/registry.hpp"
+#include "sim/rig.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace rmcc::sim::detail
+{
+
+/** 64-bit FNV-1a over a string (cell-name disambiguation hash). */
+inline std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+inline const char *
+schemeShortName(ctr::SchemeKind k)
+{
+    switch (k) {
+    case ctr::SchemeKind::SgxMonolithic: return "sgx";
+    case ctr::SchemeKind::SC64: return "sc64";
+    case ctr::SchemeKind::Morphable: return "morphable";
+    }
+    return "scheme";
+}
+
+/**
+ * Stable per-(workload, configuration) cell label: a readable prefix plus
+ * a hash of everything describe() renders and of the experiment-shape
+ * fields describe() leaves out (trace length, warm-up, seed, budget
+ * fraction, memo-group geometry), so sensitivity sweeps that vary only a
+ * latency or a budget still get distinct obs files.
+ */
+inline std::string
+cellName(const std::string &workload, const SystemConfig &cfg)
+{
+    std::string label = workload;
+    label += cfg.mode == SimMode::Timing ? "-timing" : "-functional";
+    if (!cfg.secure)
+        label += "-nonsecure";
+    else {
+        label += "-";
+        label += schemeShortName(cfg.scheme);
+        if (cfg.rmcc)
+            label += "-rmcc";
+    }
+    std::string key = cfg.describe();
+    key += "|records=" + std::to_string(cfg.trace_records);
+    key += "|warmup=" + std::to_string(cfg.warmup_records);
+    key += "|seed=" + std::to_string(cfg.seed);
+    key += "|precond=" + std::to_string(cfg.precondition ? 1 : 0);
+    key += "|budget_frac=" +
+           std::to_string(cfg.precondition_budget_fraction);
+    key += "|epoch=" + std::to_string(cfg.rmcc_cfg.budget.epoch_accesses);
+    key += "|groups=" + std::to_string(cfg.rmcc_cfg.memo.groups);
+    key += "|gsize=" + std::to_string(cfg.rmcc_cfg.memo.group_size);
+    key += "|mlevels=" + std::to_string(cfg.rmcc_cfg.memo_levels);
+
+    char hash[20];
+    std::snprintf(hash, sizeof hash, "-%08llx",
+                  static_cast<unsigned long long>(fnv1a64(key) &
+                                                  0xffffffffULL));
+    return obs::sanitizeCellName(label + hash);
+}
+
+/**
+ * Register the standard probe catalog over a rig.  now_fn supplies the
+ * current simulated time for the DRAM-backlog probe (the two simulators
+ * keep time differently).  Everything referenced must outlive the
+ * registry; probe lambdas capture raw pointers/references.
+ */
+inline void
+registerRigProbes(obs::Registry &o, SimRig &rig,
+                  const trace::TraceBuffer &trace,
+                  std::function<double()> now_fn)
+{
+    // Memoization table + candidate monitor (L0; the headline curves).
+    core::RmccEngine &eng = rig.engine;
+    if (eng.enabled() && eng.memoLevels() > 0) {
+        o.addProbe("memo.lookups",
+                   [&eng] { return double(eng.table(0).lookups()); });
+        o.addProbe("memo.hits", [&eng] {
+            return double(eng.table(0).groupHits() +
+                          eng.table(0).recentHits());
+        });
+        o.addProbe("memo.valid_groups",
+                   [&eng] { return double(eng.table(0).validGroups()); });
+        o.addProbe("memo.max_in_table",
+                   [&eng] { return double(eng.table(0).maxInTable()); });
+        o.addProbe("monitor.promotions",
+                   [&eng] { return double(eng.groupInsertions(0)); });
+        o.addProbe("rmcc.read_updates",
+                   [&eng] { return double(eng.readUpdates(0)); });
+        o.addRate("memo.hit_rate", "memo.hits", "memo.lookups");
+    }
+
+    // Counter overflows and the integrity tree.
+    ctr::IntegrityTree &tree = rig.tree;
+    o.addProbe("ovf.total",
+               [&tree] { return double(tree.totalOverflows()); });
+    o.addProbe("ovf.l0", [&tree] {
+        return tree.levels() > 0 ? double(tree.overflowsAt(0)) : 0.0;
+    });
+    o.addProbe("ctr.observed_max",
+               [&tree] { return double(tree.observedMax()); });
+
+    // Cache hierarchy + counter cache.
+    const cache::SetAssocCache &llc = rig.hier.llc();
+    o.addProbe("llc.accesses",
+               [&llc] { return double(llc.accesses()); });
+    o.addProbe("llc.misses", [&llc] { return double(llc.misses()); });
+    o.addRate("llc.miss_rate", "llc.misses", "llc.accesses");
+    const cache::SetAssocCache &cc = rig.mc.counterCache();
+    o.addProbe("ctr_cache.accesses",
+               [&cc] { return double(cc.accesses()); });
+    o.addProbe("ctr_cache.misses",
+               [&cc] { return double(cc.misses()); });
+    o.addRate("ctr_cache.miss_rate", "ctr_cache.misses",
+              "ctr_cache.accesses");
+
+    // DRAM: work done plus the bus-backlog queue proxy at sample time.
+    dram::Ddr4 &dram = rig.dram;
+    o.addProbe("dram.accesses",
+               [&dram] { return double(dram.totalAccesses()); });
+    o.addProbe("dram.queue_ns", [&dram, now_fn = std::move(now_fn)] {
+        return dram.busBacklogNs(now_fn());
+    });
+
+    // Crypto ops split hw/sw.  Counts are process-global (see
+    // CryptoOpCounts); with a parallel suite, concurrent cells mix.
+    crypto::setCryptoOpCounting(true);
+    o.addProbe("crypto.aes_hw",
+               [] { return double(crypto::cryptoOpCounts().aes_hw); });
+    o.addProbe("crypto.aes_sw",
+               [] { return double(crypto::cryptoOpCounts().aes_sw); });
+    o.addProbe("crypto.clmul_hw",
+               [] { return double(crypto::cryptoOpCounts().clmul_hw); });
+    o.addProbe("crypto.clmul_sw",
+               [] { return double(crypto::cryptoOpCounts().clmul_sw); });
+
+    // Trace health: records refused by the bounded buffer.
+    o.addProbe("trace.dropped",
+               [&trace] { return double(trace.dropped()); });
+
+    // Obs self-diagnostic: epoch rows evicted from the ring so far.
+    o.addProbe("obs.epochs_dropped",
+               [&o] { return double(o.epochsDropped()); });
+}
+
+} // namespace rmcc::sim::detail
+
+#endif // RMCC_SIM_OBS_WIRING_HPP

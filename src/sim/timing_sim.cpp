@@ -1,6 +1,7 @@
 #include "sim/timing_sim.hpp"
 
 #include "sim/cpu_model.hpp"
+#include "sim/obs_wiring.hpp"
 #include "sim/rig.hpp"
 
 namespace rmcc::sim
@@ -13,6 +14,14 @@ runTiming(const std::string &workload_name,
     detail::SimRig rig(cfg);
     detail::preconditionRmcc(rig, cfg, trace);
     CpuModel cpu(cfg.cpu);
+
+    std::unique_ptr<obs::Registry> obs =
+        obs::makeRunRegistry(detail::cellName(workload_name, cfg));
+    if (obs) {
+        detail::registerRigProbes(*obs, rig, trace,
+                                  [&cpu] { return cpu.now(); });
+        rig.mc.attachObs(obs.get());
+    }
 
     util::StatSet side;
     const util::StatHandle h_tlb_miss = side.handle("tlb.misses");
@@ -56,8 +65,14 @@ runTiming(const std::string &workload_name,
                 rig.mc.write(*h.memory_writeback, cpu.now());
             cpu.stallUntil(stall);
         }
+        if (obs)
+            obs->tick();
     }
     const double end = cpu.finish();
+    if (obs) {
+        rig.mc.attachObs(nullptr);
+        obs->finish();
+    }
 
     SimResult res;
     res.workload = workload_name;

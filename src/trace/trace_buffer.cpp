@@ -1,6 +1,7 @@
 #include "trace/trace_buffer.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/log.hpp"
 
@@ -10,6 +11,42 @@ namespace rmcc::trace
 TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity)
 {
     records_.reserve(std::min<std::size_t>(capacity, 1 << 22));
+}
+
+TraceBuffer::~TraceBuffer()
+{
+    if (dropped_ > 0)
+        util::warn("trace buffer dropped %llu append(s) total "
+                   "(capacity %zu); the generator overran the buffer",
+                   static_cast<unsigned long long>(dropped_), capacity_);
+}
+
+TraceBuffer::TraceBuffer(TraceBuffer &&other) noexcept
+    : capacity_(other.capacity_),
+      records_(std::move(other.records_)),
+      total_insts_(other.total_insts_),
+      writes_(other.writes_),
+      dropped_(other.dropped_),
+      distinct_cache_(other.distinct_cache_),
+      distinct_valid_(other.distinct_valid_)
+{
+    other.dropped_ = 0;
+}
+
+TraceBuffer &
+TraceBuffer::operator=(TraceBuffer &&other) noexcept
+{
+    if (this != &other) {
+        capacity_ = other.capacity_;
+        records_ = std::move(other.records_);
+        total_insts_ = other.total_insts_;
+        writes_ = other.writes_;
+        dropped_ = other.dropped_;
+        distinct_cache_ = other.distinct_cache_;
+        distinct_valid_ = other.distinct_valid_;
+        other.dropped_ = 0;
+    }
+    return *this;
 }
 
 void

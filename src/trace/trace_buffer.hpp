@@ -29,6 +29,21 @@ class TraceBuffer
     explicit TraceBuffer(std::size_t capacity);
 
     /**
+     * Reports the FINAL dropped count if any appends were refused — the
+     * one-shot warning at first drop only knows the count so far, so a
+     * generator that keeps running long past full() would otherwise
+     * under-report by orders of magnitude.
+     */
+    ~TraceBuffer();
+
+    //! Moves transfer the drop counter (the source stops owning it), so
+    //! a moved-from temporary's destructor does not double-report.
+    TraceBuffer(TraceBuffer &&other) noexcept;
+    TraceBuffer &operator=(TraceBuffer &&other) noexcept;
+    TraceBuffer(const TraceBuffer &) = default;
+    TraceBuffer &operator=(const TraceBuffer &) = default;
+
+    /**
      * Append a load/store.  Once full, the record is counted as dropped
      * (with a one-time warning) instead of being stored.  Out-of-range
      * values (vaddr above 47 bits, gap above 16) are fatal: the packed

@@ -5,6 +5,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "util/log.hpp"
+
 namespace rmcc::util
 {
 
@@ -87,7 +89,7 @@ Table::emit(const std::string &csv_path) const
         if (f)
             f << toCsv();
         else
-            std::cerr << "warning: cannot write " << csv_path << '\n';
+            warn("cannot write %s", csv_path.c_str());
     }
 }
 

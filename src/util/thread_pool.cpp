@@ -9,13 +9,25 @@
 namespace rmcc::util
 {
 
+namespace
+{
+
+//! Pool-worker index of this thread; -1 off-pool.  Set once at worker
+//! startup, so reads need no synchronization.
+thread_local int t_worker_id = -1;
+
+} // namespace
+
 ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0)
         threads = 1;
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] {
+            t_worker_id = static_cast<int>(i);
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()
@@ -93,6 +105,18 @@ ThreadPool::workerLoop()
                 idle_cv_.notify_all();
         }
     }
+}
+
+int
+ThreadPool::currentWorkerId()
+{
+    return t_worker_id;
+}
+
+int
+currentWorkerId()
+{
+    return ThreadPool::currentWorkerId();
 }
 
 unsigned

@@ -69,6 +69,14 @@ class ThreadPool
     std::vector<std::exception_ptr> takeErrors();
 
     /**
+     * Pool-worker index of the calling thread: 0 .. threadCount()-1 on a
+     * pool worker, -1 on any other thread (main, detached helpers).
+     * Observability uses this to assign trace lanes; ids are stable for
+     * a thread's lifetime but reused across pool instances.
+     */
+    static int currentWorkerId();
+
+    /**
      * Job-count policy: the RMCC_JOBS environment variable when set,
      * otherwise std::thread::hardware_concurrency() (and 1 when even
      * that is unknown).
@@ -99,6 +107,9 @@ class ThreadPool
  */
 void parallelFor(ThreadPool &pool, std::size_t n,
                  const std::function<void(std::size_t)> &fn);
+
+/** Free-function alias for ThreadPool::currentWorkerId(). */
+int currentWorkerId();
 
 } // namespace rmcc::util
 

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -235,10 +236,9 @@ Graph::powerLawCached(std::uint64_t vertices, std::uint64_t edges,
             // The cache is an optimization, so a bad directory must not
             // abort the run — but silently building uncached every time
             // hides a misconfiguration, so say why.
-            std::fprintf(stderr,
-                         "RMCC_GRAPH_CACHE_DIR='%s' is not a directory; "
-                         "graph cache disabled for this run\n",
-                         path.c_str());
+            util::warn("RMCC_GRAPH_CACHE_DIR='%s' is not a directory; "
+                       "graph cache disabled for this run",
+                       path.c_str());
             return powerLaw(vertices, edges, zipf_exponent, seed);
         }
     }
