@@ -50,6 +50,12 @@ usage()
         "    full adds Chrome-trace JSON (load in Perfetto)\n"
         "  RMCC_OBS_DIR=PATH           output dir (default rmcc-obs)\n"
         "  RMCC_OBS_EPOCH_RECORDS=N    records per epoch (default 10000)\n"
+        "  RMCC_CRYPTO_IMPL=auto|hw|sw crypto kernels (default auto):\n"
+        "    hw forces AES-NI/PCLMULQDQ (throws without CPU support),\n"
+        "    sw forces the T-table/windowed software kernels\n"
+        "  RMCC_CRYPTO_BATCH=auto|on|off  multi-block crypto pipelining\n"
+        "    (default auto: batch when the hw kernels are active; on\n"
+        "    throws unless they are; results are identical either way)\n"
         "  RMCC_LOG_LEVEL=debug|info|warn|error|silent  (default info)");
 }
 

@@ -48,6 +48,18 @@ class Hierarchy
     /** Push one physical-address access through L1 -> L2 -> LLC. */
     HierarchyResult access(addr::Addr paddr, bool is_write);
 
+    /**
+     * Prefetch the tag/recency rows the next access(paddr) will scan at
+     * every level.  Pure (see SetAssocCache::prefetchSet): replay loops
+     * may call it for a lookahead record without changing any result.
+     */
+    void prefetch(addr::Addr paddr) const
+    {
+        l1_.prefetchSet(paddr);
+        l2_.prefetchSet(paddr);
+        llc_.prefetchSet(paddr);
+    }
+
     const SetAssocCache &l1() const { return l1_; }
     const SetAssocCache &l2() const { return l2_; }
     const SetAssocCache &llc() const { return llc_; }

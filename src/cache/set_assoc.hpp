@@ -9,6 +9,7 @@
 #ifndef RMCC_CACHE_SET_ASSOC_HPP
 #define RMCC_CACHE_SET_ASSOC_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -71,6 +72,32 @@ class SetAssocCache
 
     /** True if the line is present; does not update recency. */
     bool probe(addr::Addr a) const;
+
+    /**
+     * Hint that the set holding address a is about to be scanned: issues
+     * software prefetches for its tag and recency rows.  Pure — no state,
+     * stat, or replacement decision changes — so callers may prefetch
+     * speculatively (e.g. the replay loop's next record) without
+     * perturbing results.
+     */
+    void prefetchSet(addr::Addr a) const
+    {
+        const std::size_t base = setIndex(a) * assoc_;
+        __builtin_prefetch(&tags_[base]);
+        __builtin_prefetch(&lru_[base]);
+    }
+
+    /**
+     * Force the AVX2 way-scan on or off for every cache in the process
+     * (default: on iff the CPU reports AVX2).  The vector and scalar
+     * scans return identical ways — tags are unique within a set and
+     * both pick the lowest-index match / first minimum — so this is an
+     * A/B and test hook, not a behavior switch.
+     */
+    static void setSimdProbes(bool on);
+
+    /** True when way scans currently use the AVX2 tag compare. */
+    static bool simdProbesActive();
 
     /** Drop the line if present; returns true if it was dirty. */
     bool invalidate(addr::Addr a);

@@ -142,14 +142,30 @@ RmccEngine::averageCoverage(unsigned level) const
     std::uint64_t total = 0;
     const std::uint64_t n = scheme.entities();
     const addr::CounterValue *raw = scheme.rawValues();
-    for (std::uint64_t i = 0; i < n; ++i) {
-        const addr::CounterValue v = raw ? raw[i] : scheme.read(i);
+    if (raw != nullptr) {
+        // Dense store: sweep the whole array once per merged range with a
+        // branchless membership test ((v - lo) < span catches lo <= v < hi
+        // in one unsigned compare).  Ranges are disjoint after the merge,
+        // so indicator sums equal the per-value scan's count, and the
+        // branch-free inner loop vectorizes — this runs inside the timed
+        // region of every RMCC experiment.
         for (const auto &[lo, hi] : ranges) {
-            if (v < lo)
-                break;
-            if (v < hi) {
-                ++total;
-                break;
+            const addr::CounterValue span = hi - lo;
+            std::uint64_t in = 0;
+            for (std::uint64_t i = 0; i < n; ++i)
+                in += (raw[i] - lo) < span ? 1u : 0u;
+            total += in;
+        }
+    } else {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const addr::CounterValue v = scheme.read(i);
+            for (const auto &[lo, hi] : ranges) {
+                if (v < lo)
+                    break;
+                if (v < hi) {
+                    ++total;
+                    break;
+                }
             }
         }
     }

@@ -84,6 +84,16 @@ class SecureMc
     McReadResult read(addr::Addr paddr, double now_ns);
 
     /**
+     * Hint that a read of paddr may be next: software-prefetch the L0/L1
+     * counter-store entries and counter-cache set rows that read(paddr)
+     * would touch.  Pure — no stats, no cache state, no timing — so the
+     * replay loop can issue it for the record after the current one and
+     * overlap the counter store's DRAM-sized footprint with the rest of
+     * the iteration.
+     */
+    void prefetchRead(addr::Addr paddr) const;
+
+    /**
      * Serve an LLC writeback of the data block at paddr.  Writes are
      * posted; the returned time is only later than now_ns when the
      * two-outstanding-overflow cap stalls the core.
@@ -143,6 +153,9 @@ class SecureMc
         addr::Addr end;         //!< One past the level's last block.
         unsigned coverage;      //!< Entities per counter block.
         double decode_ns;       //!< Scheme decode latency.
+        //! Scheme's dense value array for prefetchRead (null when the
+        //! scheme exposes none).
+        const addr::CounterValue *raw = nullptr;
     };
 
     /** One DRAM transfer with category accounting and epoch advance. */

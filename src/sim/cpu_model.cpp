@@ -1,6 +1,7 @@
 #include "sim/cpu_model.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace rmcc::sim
 {
@@ -9,6 +10,21 @@ CpuModel::CpuModel(const CpuConfig &cfg)
     : cfg_(cfg),
       ns_per_inst_(1.0 / (cfg.freq_ghz * cfg.width))
 {
+    // MSHR pressure bounds steady-state occupancy near cfg.mshrs; start
+    // one doubling above it so growth is a cold-path rarity.
+    ring_.resize(std::bit_ceil(std::max<std::size_t>(cfg.mshrs + 1, 8)));
+    mask_ = ring_.size() - 1;
+}
+
+void
+CpuModel::grow()
+{
+    std::vector<Outstanding> bigger(ring_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i)
+        bigger[i] = ring_[(head_ + i) & mask_];
+    ring_ = std::move(bigger);
+    head_ = 0;
+    mask_ = ring_.size() - 1;
 }
 
 void
@@ -16,20 +32,25 @@ CpuModel::enforceLimits()
 {
     // Window limit: an op older than (insts_ - rob) must have retired for
     // the current instruction to even enter the window.
-    while (!outstanding_.empty()) {
-        const Outstanding &oldest = outstanding_.front();
+    while (count_ != 0) {
+        const Outstanding &oldest = ring_[head_];
         const bool window_full =
             insts_ - oldest.inst_at_issue >= cfg_.rob;
-        const bool mshrs_full = outstanding_.size() >= cfg_.mshrs;
+        const bool mshrs_full = count_ >= cfg_.mshrs;
         if (!window_full && !mshrs_full)
             break;
         now_ns_ = std::max(now_ns_, oldest.done_ns);
-        outstanding_.pop_front();
+        head_ = (head_ + 1) & mask_;
+        --count_;
     }
-    // Anything already complete can leave the queue.
-    while (!outstanding_.empty() &&
-           outstanding_.front().done_ns <= now_ns_)
-        outstanding_.pop_front();
+    // Everything already complete leaves in one batch: scan the ready
+    // prefix, then retire it with a single head/count adjustment.
+    std::size_t ready = 0;
+    while (ready < count_ &&
+           ring_[(head_ + ready) & mask_].done_ns <= now_ns_)
+        ++ready;
+    head_ = (head_ + ready) & mask_;
+    count_ -= ready;
 }
 
 double
@@ -44,7 +65,10 @@ CpuModel::advance(std::uint32_t inst_gap)
 void
 CpuModel::recordLongLatency(double done_ns)
 {
-    outstanding_.push_back({done_ns, insts_});
+    if (count_ == ring_.size())
+        grow();
+    ring_[(head_ + count_) & mask_] = {done_ns, insts_};
+    ++count_;
 }
 
 void
@@ -56,9 +80,10 @@ CpuModel::stallUntil(double t_ns)
 double
 CpuModel::finish()
 {
-    for (const Outstanding &o : outstanding_)
-        now_ns_ = std::max(now_ns_, o.done_ns);
-    outstanding_.clear();
+    for (std::size_t i = 0; i < count_; ++i)
+        now_ns_ = std::max(now_ns_, ring_[(head_ + i) & mask_].done_ns);
+    head_ = 0;
+    count_ = 0;
     return now_ns_;
 }
 

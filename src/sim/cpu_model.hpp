@@ -12,8 +12,9 @@
 #ifndef RMCC_SIM_CPU_MODEL_HPP
 #define RMCC_SIM_CPU_MODEL_HPP
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 namespace rmcc::sim
 {
@@ -69,11 +70,21 @@ class CpuModel
     /** Apply window/MSHR limits at the current instruction count. */
     void enforceLimits();
 
+    /** Double the ring capacity, re-linearizing from head_. */
+    void grow();
+
     CpuConfig cfg_;
     double ns_per_inst_;
     double now_ns_ = 0.0;
     std::uint64_t insts_ = 0;
-    std::deque<Outstanding> outstanding_;
+    //! Outstanding ops in a power-of-two ring (oldest at head_).  The
+    //! deque this replaces paid a segment-map indirection on every
+    //! enforceLimits() call, millions of times per replay; a flat ring
+    //! keeps the whole drain scan inside one small allocation.
+    std::vector<Outstanding> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::size_t mask_ = 0; //!< capacity - 1 (capacity is a power of two).
 };
 
 } // namespace rmcc::sim

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "crypto/dispatch.hpp"
 #include "obs/registry.hpp"
 #include "util/env.hpp"
 #include "util/thread_pool.hpp"
@@ -161,9 +162,11 @@ SuiteRow
 runWorkload(const wl::Workload &w, const std::vector<NamedConfig> &configs)
 {
     validateTraceShape(configs);
-    // Resolve RMCC_OBS* outside the per-cell guard: a malformed variable
-    // is a caller error, not a per-cell failure to retry.
+    // Resolve RMCC_OBS* and the crypto dispatch outside the per-cell
+    // guard: a malformed variable is a caller error, not a per-cell
+    // failure to retry.
     obs::session();
+    crypto::hwAesActive();
     SuiteRow row;
     row.workload = w.name;
     row.results.resize(configs.size());
@@ -198,6 +201,7 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
 {
     validateTraceShape(configs);
     obs::session(); // strict RMCC_OBS* parsing fails loudly up front
+    crypto::hwAesActive(); // same for RMCC_CRYPTO_IMPL/BATCH
 
     const std::vector<wl::Workload> &suite = wl::workloadSuite();
     const unsigned jobs = suiteJobs();

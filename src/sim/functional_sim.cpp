@@ -46,9 +46,17 @@ runFunctional(const std::string &workload_name,
         rig.mc.attachObs(obs.get());
     }
 
-    std::size_t i = 0;
-    for (const trace::Record &rec : trace.records()) {
-        if (i++ == cfg.warmup_records) {
+    // One-record lookahead (see runTiming): translating record i+1 at the
+    // end of iteration i keeps the first-touch order v0, v1, v2, ... the
+    // plain loop produced, and the prefetch hooks are pure, so results
+    // are bit-identical.
+    const auto &records = trace.records();
+    const std::size_t n_records = records.size();
+    addr::Addr next_paddr =
+        n_records > 0 ? rig.mapper.translate(records[0].vaddr) : 0;
+    for (std::size_t i = 0; i < n_records; ++i) {
+        const trace::Record &rec = records[i];
+        if (i == cfg.warmup_records) {
             mc_at_warm = rig.mc.stats();
             side_at_warm = side;
             insts_at_warm = instructions;
@@ -57,7 +65,12 @@ runFunctional(const std::string &workload_name,
 
         if (!rig.tlb.access(rec.vaddr))
             side.inc(h_tlb_miss);
-        const addr::Addr paddr = rig.mapper.translate(rec.vaddr);
+        const addr::Addr paddr = next_paddr;
+        if (i + 1 < n_records) {
+            next_paddr = rig.mapper.translate(records[i + 1].vaddr);
+            rig.hier.prefetch(next_paddr);
+            rig.mc.prefetchRead(next_paddr);
+        }
         const cache::HierarchyResult h =
             rig.hier.access(paddr, rec.is_write);
         if (h.llc_miss) {

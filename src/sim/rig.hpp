@@ -12,6 +12,7 @@
 #include "cache/tlb.hpp"
 #include "core/rmcc_engine.hpp"
 #include "counters/tree.hpp"
+#include "crypto/dispatch.hpp"
 #include "dram/ddr4.hpp"
 #include "mc/secure_mc.hpp"
 #include "sim/system_config.hpp"
@@ -58,6 +59,12 @@ struct SimRig
              tree, engine, dram),
           init_max(0)
     {
+        // The timing model charges latencies instead of running crypto,
+        // so a garbage RMCC_CRYPTO_IMPL/BATCH would otherwise never be
+        // parsed.  Resolve the dispatch up front: runner knobs are
+        // caller contract and must abort loudly (same policy as the
+        // other strict RMCC_* vars).
+        crypto::hwAesActive();
         util::Rng rng(cfg.seed ^ 0xc0c0);
         if (cfg.secure)
             tree.randomInit(rng, cfg.counter_init_mean);

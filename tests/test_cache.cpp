@@ -8,9 +8,29 @@
 #include "cache/hierarchy.hpp"
 #include "cache/set_assoc.hpp"
 #include "cache/tlb.hpp"
+#include "crypto/dispatch.hpp"
 
 using namespace rmcc::cache;
 using rmcc::addr::Addr;
+
+namespace
+{
+
+/** Scoped SIMD-probe override; restores the CPU-derived default. */
+struct ScopedSimdProbes
+{
+    explicit ScopedSimdProbes(bool on)
+    {
+        SetAssocCache::setSimdProbes(on);
+    }
+    ~ScopedSimdProbes()
+    {
+        SetAssocCache::setSimdProbes(
+            rmcc::crypto::detectCpuFeatures().avx2);
+    }
+};
+
+} // namespace
 
 TEST(SetAssoc, HitAfterMiss)
 {
@@ -114,6 +134,47 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::uint64_t, unsigned>{8192, 4},
                       std::pair<std::uint64_t, unsigned>{32768, 8},
                       std::pair<std::uint64_t, unsigned>{131072, 32}));
+
+TEST(SetAssoc, SimdProbesMatchScalarProbes)
+{
+    // The AVX2 tag-compare and LRU-min scan must pick the same ways as
+    // the scalar loops for every access of the same random sequence —
+    // hits, victims, writebacks, and eviction addresses all agree.
+    // Sweep geometries where SIMD engages (assoc % 4 == 0) and one where
+    // it cannot (assoc 2, scalar both times).
+    for (const auto &[size, assoc] :
+         {std::pair<std::uint64_t, unsigned>{8192, 4},
+          std::pair<std::uint64_t, unsigned>{32768, 8},
+          std::pair<std::uint64_t, unsigned>{131072, 16},
+          std::pair<std::uint64_t, unsigned>{4096, 2}}) {
+        SetAssocCache simd("s", size, assoc);
+        SetAssocCache scalar("c", size, assoc);
+        std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+        for (int i = 0; i < 30000; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            const Addr a = (x % (size * 8)) & ~63ULL;
+            const bool write = (x & 2) != 0;
+            AccessResult rs, rc;
+            {
+                ScopedSimdProbes on(true);
+                rs = simd.access(a, write);
+            }
+            {
+                ScopedSimdProbes off(false);
+                rc = scalar.access(a, write);
+            }
+            ASSERT_EQ(rs.hit, rc.hit) << "assoc=" << assoc << " i=" << i;
+            ASSERT_EQ(rs.evicted, rc.evicted);
+            ASSERT_EQ(rs.writeback, rc.writeback);
+            ASSERT_EQ(rs.victim_addr, rc.victim_addr);
+        }
+        EXPECT_EQ(simd.hits(), scalar.hits()) << "assoc=" << assoc;
+        EXPECT_EQ(simd.misses(), scalar.misses());
+        EXPECT_EQ(simd.writebacks(), scalar.writebacks());
+    }
+}
 
 TEST(Hierarchy, HitLevelsAndLatencies)
 {
