@@ -50,5 +50,6 @@ main()
                   util::mean(accel) * 100},
                  1);
     table.emit("fig10.csv");
+    bench::exitIfInterrupted("fig10.csv");
     return 0;
 }

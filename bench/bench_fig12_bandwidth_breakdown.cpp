@@ -50,5 +50,6 @@ main()
                   util::mean(tot) * 100},
                  1);
     table.emit("fig12.csv");
+    bench::exitIfInterrupted("fig12.csv");
     return 0;
 }

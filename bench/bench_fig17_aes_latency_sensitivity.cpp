@@ -39,5 +39,6 @@ main()
     table.addRow("geomean",
                  {util::geomean(r15), util::geomean(r22)});
     table.emit("fig17.csv");
+    bench::exitIfInterrupted("fig17.csv");
     return 0;
 }

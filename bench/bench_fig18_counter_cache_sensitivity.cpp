@@ -44,5 +44,6 @@ main()
                              util::geomean(cols[1]),
                              util::geomean(cols[2])});
     table.emit("fig18.csv");
+    bench::exitIfInterrupted("fig18.csv");
     return 0;
 }

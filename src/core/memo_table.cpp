@@ -35,6 +35,12 @@ MemoTable::findShadow(addr::CounterValue v) const
 MemoHit
 MemoTable::lookupRead(addr::CounterValue v)
 {
+    // Quarantined values must never serve a read; the empty-set guard
+    // keeps the default (fault-free) path at zero extra cost.
+    if (!quarantine_.empty() && isQuarantined(v)) {
+        ++misses_;
+        return MemoHit::Miss;
+    }
     const int g = findGroup(v);
     if (g >= 0) {
         ++groups_[static_cast<std::size_t>(g)].freq;
@@ -219,6 +225,38 @@ MemoTable::endOfEpoch()
     for (Group &g : shadows_)
         g.freq /= 2;
     protected_start_.reset();
+    // Reselection re-derives every memoized pad from scratch, so any
+    // quarantined values are honest again from here on.
+    quarantine_.clear();
+}
+
+bool
+MemoTable::quarantineValue(addr::CounterValue v)
+{
+    bool dropped = false;
+    const int g = findGroup(v);
+    if (g >= 0) {
+        Group &grp = groups_[static_cast<std::size_t>(g)];
+        if (protected_start_ && *protected_start_ == grp.start)
+            protected_start_.reset();
+        grp = Group(); // invalidate; no shadow push for a poisoned group
+        dropped = true;
+    }
+    const auto it = std::find(recent_.begin(), recent_.end(), v);
+    if (it != recent_.end()) {
+        recent_.erase(it);
+        dropped = true;
+    }
+    if (!isQuarantined(v))
+        quarantine_.push_back(v);
+    return dropped;
+}
+
+bool
+MemoTable::isQuarantined(addr::CounterValue v) const
+{
+    return std::find(quarantine_.begin(), quarantine_.end(), v) !=
+           quarantine_.end();
 }
 
 std::vector<addr::CounterValue>

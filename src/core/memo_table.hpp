@@ -97,6 +97,26 @@ class MemoTable
      */
     void endOfEpoch();
 
+    /**
+     * Quarantine a memoized counter value whose derived pad is suspect
+     * (recovery path, Sec IV-D threat handling): invalidate the covering
+     * group without shadow credit — a poisoned group must not win
+     * re-insertion on its history — drop any MRU-recent copy, and refuse
+     * lookups of v until the next end-of-epoch reselection rebuilds the
+     * table from honestly recomputed pads.
+     * @return true when v was actually memoized (something was dropped).
+     */
+    bool quarantineValue(addr::CounterValue v);
+
+    /** Is v currently refused by quarantine? */
+    bool isQuarantined(addr::CounterValue v) const;
+
+    /** Values currently under quarantine (cleared at end of epoch). */
+    unsigned quarantinedCount() const
+    {
+        return static_cast<unsigned>(quarantine_.size());
+    }
+
     /** All current group start values (tests/diagnostics). */
     std::vector<addr::CounterValue> groupStarts() const;
 
@@ -134,6 +154,7 @@ class MemoTable
     std::vector<Group> groups_;
     std::vector<Group> shadows_;
     std::deque<addr::CounterValue> recent_; // front = most recent
+    std::vector<addr::CounterValue> quarantine_; // empty almost always
     std::optional<addr::CounterValue> protected_start_;
     std::uint64_t group_hits_ = 0, recent_hits_ = 0, misses_ = 0;
 };

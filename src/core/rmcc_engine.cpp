@@ -100,6 +100,17 @@ RmccEngine::onDramAccess()
     }
 }
 
+bool
+RmccEngine::quarantineMemoValue(unsigned level, addr::CounterValue v)
+{
+    if (!cfg_.enabled || level >= levels_.size())
+        return false;
+    LevelState &st = *levels_[level];
+    const bool dropped = st.table->quarantineValue(v);
+    st.monitor->arm(st.table->maxInTable());
+    return dropped;
+}
+
 void
 RmccEngine::setBudgetPools(double accesses)
 {

@@ -115,6 +115,18 @@ class RmccEngine
     double averageCoverage(unsigned level) const;
 
     /**
+     * Quarantine a poisoned memoized value at `level` (recovery path) and
+     * apply the security-register rollback rule: the candidate monitor's
+     * high-counter trigger re-arms from the post-quarantine
+     * Max-Counter-in-Table, so a poisoned entry can never have ratcheted
+     * the monitor threshold upward (the Observed-System-Max cap of
+     * Sec IV-D2 keeps group starts bounded by honest tree state either
+     * way).
+     * @return true when the value was actually memoized and dropped.
+     */
+    bool quarantineMemoValue(unsigned level, addr::CounterValue v);
+
+    /**
      * Set every level's budget pool — used by the lifetime-warmup
      * (precondition) phase, which emulates the budget accrued and spent
      * over the unsimulated earlier lifetime, then drains to zero so the

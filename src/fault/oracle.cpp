@@ -509,6 +509,8 @@ void
 DetectionOracle::armFault(const FaultRecord &rec)
 {
     pending_ = rec;
+    first_check_.reset();
+    pending_transient_ = false;
 }
 
 void
@@ -522,6 +524,76 @@ FaultOutcome
 DetectionOracle::classifyPending(bool memo_hit)
 {
     const Verdict v = verifyRead(pending_->readback_block, memo_hit);
+    FaultOutcome out;
+    if (!v.pass)
+        out = FaultOutcome::Detected;
+    else
+        out = v.correct ? FaultOutcome::Masked : FaultOutcome::Silent;
+    finalizePending(out, v);
+    return out;
+}
+
+mc::McReadCheck
+DetectionOracle::checkRead(addr::BlockId blk, bool memo_hit)
+{
+    const Verdict v = verifyRead(blk, memo_hit);
+    if ((pending_ || memo_fault_) && !first_check_)
+        first_check_ = v;
+    mc::McReadCheck chk;
+    chk.pass = v.pass;
+    chk.fail_level = v.fail_level;
+    return chk;
+}
+
+bool
+DetectionOracle::onRefetch(addr::BlockId)
+{
+    if (!pending_transient_)
+        return false;
+    // Transient faults live in the transfer, not the stored cells: the
+    // re-fetch reads the intact stored unit, so heal the perturbed image.
+    // The record stays armed — classification uses the latched verdict.
+    healPendingUnit();
+    pending_transient_ = false;
+    return true;
+}
+
+void
+DetectionOracle::reconstructCounterPath(addr::BlockId blk)
+{
+    const auto path = pathOf(blk);
+    for (unsigned k = 0; k < tree_.levels(); ++k)
+        refreshNode(k, path[k], /*force=*/true);
+}
+
+void
+DetectionOracle::healPendingUnit()
+{
+    if (pending_) {
+        switch (pending_->combo.site) {
+        case FaultSite::DataCiphertext:
+        case FaultSite::DataMac:
+            refreshData(pending_->unit, /*force=*/true);
+            break;
+        case FaultSite::L0Counter:
+            refreshNode(0, pending_->unit, /*force=*/true);
+            break;
+        case FaultSite::TreeNode:
+            refreshNode(pending_->level, pending_->unit, /*force=*/true);
+            break;
+        case FaultSite::MemoEntry:
+            break;
+        }
+    }
+    memo_fault_.reset();
+}
+
+FaultOutcome
+DetectionOracle::classifyPendingFromCheck()
+{
+    const Verdict v =
+        first_check_ ? *first_check_
+                     : verifyRead(pending_->readback_block, false);
     FaultOutcome out;
     if (!v.pass)
         out = FaultOutcome::Detected;
@@ -560,6 +632,8 @@ DetectionOracle::finalizePending(FaultOutcome outcome, const Verdict &v)
         break;
     }
     memo_fault_.reset();
+    first_check_.reset();
+    pending_transient_ = false;
     if (outcome == FaultOutcome::Detected)
         obs::instantGlobal(obs::InstantKind::FaultDetected,
                            siteName(rec.combo.site));

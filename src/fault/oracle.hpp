@@ -82,6 +82,32 @@ class DetectionOracle : public mc::McObserver
     void onDataWrite(addr::BlockId blk) override;
     void onDataRead(addr::BlockId blk, bool memo_hit) override;
 
+    // --- McObserver: recovery hooks --------------------------------------
+
+    /**
+     * Re-derive the verdict for the recovering controller.  The FIRST
+     * verdict derived while a fault is armed is latched for
+     * classifyPendingFromCheck(): recovery heals the image before
+     * classification, and classifying from a post-heal re-verify would
+     * misreport a detected fault as masked.
+     */
+    mc::McReadCheck checkRead(addr::BlockId blk, bool memo_hit) override;
+
+    /**
+     * Stage-1 re-fetch: when the armed fault was marked transient (it
+     * lived in the transfer, not the stored cells), the re-fetched image
+     * is the intact stored unit — heal it and report success.
+     */
+    bool onRefetch(addr::BlockId blk) override;
+
+    /**
+     * Stage-2 reconstruction: the controller rebuilt every counter on
+     * blk's path by walking the integrity tree from the on-chip root, so
+     * stored node images revert to tree truth (data images are untouched
+     * — there is no redundant copy of data to rebuild from).
+     */
+    void reconstructCounterPath(addr::BlockId blk) override;
+
     /**
      * Re-derive the full MAC/tree verdict for a read of blk and decrypt.
      * Refreshes unpinned shadow units first; a block never written is
@@ -126,6 +152,24 @@ class DetectionOracle : public mc::McObserver
      * back to truth, and append the finished record.
      */
     FaultOutcome classifyPending(bool memo_hit);
+
+    /**
+     * Mark the armed fault transient: a stage-1 re-fetch reads the intact
+     * stored unit and heals it (storm campaigns draw the transient /
+     * persistent split from their plan).
+     */
+    void markPendingTransient() { pending_transient_ = true; }
+
+    /** Whether the armed fault is marked transient. */
+    bool pendingTransient() const { return pending_transient_; }
+
+    /**
+     * Classify the pending fault from the verdict latched by the
+     * recovering controller's first checkRead() — the image may have been
+     * healed since.  Falls back to a fresh verifyRead() when no check ran
+     * (recovery off).
+     */
+    FaultOutcome classifyPendingFromCheck();
 
     // --- injector/campaign queries ---------------------------------------
 
@@ -225,6 +269,9 @@ class DetectionOracle : public mc::McObserver
     /** Restore the pending fault's unit to truth and retire the record. */
     void finalizePending(FaultOutcome outcome, const Verdict &v);
 
+    /** Heal the pending fault's unit without retiring the record. */
+    void healPendingUnit();
+
     /** Truncated-MAC inequality under the configured compare width. */
     bool macDiffers(std::uint64_t a, std::uint64_t b) const
     {
@@ -245,6 +292,9 @@ class DetectionOracle : public mc::McObserver
     //! Armed memo-entry fault: reads memo-hitting on first see second.
     std::optional<std::pair<addr::CounterValue, addr::CounterValue>>
         memo_fault_;
+    //! First verdict derived via checkRead() while a fault was armed.
+    std::optional<Verdict> first_check_;
+    bool pending_transient_ = false;
 
     FaultStats stats_;
     std::vector<FaultRecord> records_;

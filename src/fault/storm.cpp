@@ -1,0 +1,144 @@
+#include "fault/storm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rmcc_engine.hpp"
+#include "dram/ddr4.hpp"
+#include "fault/injector.hpp"
+#include "fault/oracle.hpp"
+#include "mc/secure_mc.hpp"
+#include "util/rng.hpp"
+
+namespace rmcc::fault
+{
+
+namespace
+{
+
+/**
+ * Geometric inter-arrival gap (ops until the next injection) for a
+ * per-op arrival probability `rate` — the discrete Poisson process.
+ */
+std::uint64_t
+nextArrivalGap(util::Rng &rng, double rate)
+{
+    if (rate <= 0.0)
+        return ~0ULL; // never
+    if (rate >= 1.0)
+        return 1;
+    const double u = rng.nextDouble();
+    const double g = std::log1p(-u) / std::log1p(-rate);
+    return 1 + static_cast<std::uint64_t>(std::max(0.0, g));
+}
+
+} // namespace
+
+StormStats
+runRecoveryStorm(const StormPlan &plan, const StormConfig &cfg,
+                 obs::Registry *obs)
+{
+    ctr::IntegrityTree tree(cfg.scheme, cfg.data_blocks);
+    util::Rng rng(cfg.seed);
+    if (cfg.init_mean > 0)
+        tree.randomInit(rng, cfg.init_mean);
+
+    core::RmccConfig rc;
+    rc.enabled = cfg.rmcc;
+    core::RmccEngine engine(rc, tree);
+    dram::Ddr4 dram;
+    mc::McConfig mc_cfg;
+    mc_cfg.counter_cache_bytes = cfg.counter_cache_bytes;
+    mc_cfg.recovery = cfg.recovery;
+    mc::SecureMc mc(mc_cfg, tree, engine, dram);
+
+    OracleConfig ocfg;
+    ocfg.split_otp = cfg.split_otp;
+    ocfg.key_seed = cfg.seed ^ 0xfa177ULL;
+    DetectionOracle oracle(ocfg, tree);
+
+    const bool memo_live = engine.enabled() && engine.memoLevels() > 0;
+    FaultPlan fplan;
+    fplan.injections = ~0ULL; // the storm is bounded by ops, not a count
+    fplan.seed = plan.seed ^ 0x1239ULL;
+    fplan.combos = plan.combos;
+    if (!memo_live)
+        fplan.combos.erase(
+            std::remove_if(fplan.combos.begin(), fplan.combos.end(),
+                           [](const FaultCombo &c) {
+                               return c.site == FaultSite::MemoEntry;
+                           }),
+            fplan.combos.end());
+    Injector injector(oracle, fplan);
+    if (memo_live)
+        injector.setMemoTable(&engine.table(0));
+    mc.attachObserver(&oracle);
+    mc.attachObs(obs);
+
+    const bool recovery_on = cfg.recovery.mode != mc::RecoveryMode::Off;
+    const std::uint64_t hot = std::max<std::uint64_t>(
+        1, std::min(cfg.hot_blocks, cfg.data_blocks));
+    const util::ZipfSampler zipf(hot, 0.8);
+    util::Rng traffic(plan.seed);
+
+    StormStats out;
+    double now_ns = 0.0;
+    std::uint64_t until_inject = nextArrivalGap(traffic, plan.rate);
+    for (std::uint64_t op = 0; op < plan.ops; ++op) {
+        const addr::BlockId blk = zipf(traffic);
+        const addr::Addr paddr = addr::blockBase(blk);
+        const bool write = oracle.writtenBlocks().empty() ||
+                           traffic.nextBool(plan.write_fraction);
+        if (write) {
+            now_ns = std::max(now_ns, mc.write(paddr, now_ns));
+        } else {
+            const mc::McReadResult r = mc.read(paddr, now_ns);
+            ++out.reads;
+            if (r.recovery.degraded)
+                ++out.degraded_reads_served;
+        }
+        now_ns += 10.0;
+        ++out.ops;
+
+        if (--until_inject != 0)
+            continue;
+        until_inject = nextArrivalGap(traffic, plan.rate);
+        if (!injector.injectOne())
+            continue; // could not perturb: recorded Masked immediately
+
+        // The transient/persistent draw precedes the readback so a
+        // stage-1 re-fetch can observe the healed stored unit.
+        if (traffic.nextBool(plan.transient_fraction))
+            oracle.markPendingTransient();
+
+        // Force the target back through the recovering controller; the
+        // oracle latches the first integrity verdict for classification
+        // (recovery heals the image before the fault is classified).
+        const addr::BlockId target = oracle.pending().readback_block;
+        const bool memo_now =
+            memo_live && engine.table(0).contains(oracle.storedL0Value(target));
+        const mc::McReadResult r =
+            mc.read(addr::blockBase(target), now_ns);
+        ++out.reads;
+        ++out.forced_readbacks;
+        if (r.recovery.degraded)
+            ++out.degraded_reads_served;
+        now_ns += 10.0;
+        ++out.ops;
+
+        if (oracle.hasPending()) {
+            if (recovery_on)
+                oracle.classifyPendingFromCheck();
+            else
+                oracle.classifyPending(memo_now);
+        }
+    }
+
+    mc.attachObserver(nullptr);
+    mc.attachObs(nullptr);
+    out.faults = oracle.stats();
+    out.recovery = mc.recovery().stats();
+    return out;
+}
+
+} // namespace rmcc::fault

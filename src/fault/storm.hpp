@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fault-storm campaign: sustained Poisson-rate injection against a
+ * recovering secure-memory stack.
+ *
+ * The one-shot sweep (campaign.hpp) answers "is every injected fault
+ * detected?"; the storm answers the availability question the paper
+ * never modeled: under a *sustained* fault arrival process, does the
+ * self-healing datapath (mc/recovery.hpp) keep serving — zero silent
+ * corruptions, every detected fault recovered or refused, bounded MTTR —
+ * and does degraded mode engage when the storm rate exceeds the
+ * threshold?
+ *
+ * Arrivals are Poisson in operation count: inter-injection gaps are
+ * geometric with mean 1/rate, drawn from the seeded traffic Rng, so a
+ * storm is reproducible from its seed like every other experiment.  Each
+ * injected fault is independently marked transient (heals on a stage-1
+ * re-fetch) or persistent with probability transient_fraction, then the
+ * target block is read back through the recovering controller and the
+ * oracle classifies the fault from the verdict latched by the
+ * controller's first integrity check.
+ */
+#ifndef RMCC_FAULT_STORM_HPP
+#define RMCC_FAULT_STORM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "counters/scheme.hpp"
+#include "fault/plan.hpp"
+#include "mc/recovery.hpp"
+
+namespace rmcc::obs
+{
+class Registry;
+}
+
+namespace rmcc::fault
+{
+
+/** Arrival process and fault mix of one storm. */
+struct StormPlan
+{
+    double rate = 0.02;          //!< Mean injections per traffic operation.
+    std::uint64_t ops = 20000;   //!< Traffic operations to drive.
+    //! Probability an injected fault is transient (heals on re-fetch).
+    double transient_fraction = 0.5;
+    double write_fraction = 0.3;
+    std::uint64_t seed = 0x570f2;
+    std::vector<FaultCombo> combos = allCombos();
+};
+
+/** System under storm (mirrors SweepConfig plus the recovery policy). */
+struct StormConfig
+{
+    ctr::SchemeKind scheme = ctr::SchemeKind::Morphable;
+    bool rmcc = true;
+    bool split_otp = true;
+    std::uint64_t data_blocks = 1ULL << 14;
+    std::uint64_t hot_blocks = 1ULL << 12;
+    std::uint64_t seed = 1;
+    addr::CounterValue init_mean = 64;
+    std::uint64_t counter_cache_bytes = 2048;
+    mc::RecoveryConfig recovery; //!< Off by default; storms set retry/full.
+};
+
+/** Availability metrics of one storm run. */
+struct StormStats
+{
+    FaultStats faults;          //!< Detection classification counts.
+    mc::RecoveryStats recovery; //!< Datapath recovery counters.
+    std::uint64_t ops = 0;      //!< Traffic operations driven.
+    std::uint64_t reads = 0;    //!< Data reads among them (incl. forced).
+    std::uint64_t forced_readbacks = 0; //!< Post-injection readbacks.
+    std::uint64_t degraded_reads_served = 0; //!< Reads in degraded mode.
+};
+
+/**
+ * Build a secure stack with the given recovery policy, drive a seeded
+ * Zipf read/write stream with Poisson fault arrivals, and return the
+ * detection + availability metrics.
+ * @param obs optional per-run registry; when given, the controller feeds
+ *   it recovery-latency histograms and quarantine/degraded instants.
+ */
+StormStats runRecoveryStorm(const StormPlan &plan, const StormConfig &cfg,
+                            obs::Registry *obs = nullptr);
+
+} // namespace rmcc::fault
+
+#endif // RMCC_FAULT_STORM_HPP

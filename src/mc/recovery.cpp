@@ -1,0 +1,76 @@
+#include "mc/recovery.hpp"
+
+#include "util/env.hpp"
+
+namespace rmcc::mc
+{
+
+const char *
+recoveryModeName(RecoveryMode m)
+{
+    switch (m) {
+    case RecoveryMode::Off: return "off";
+    case RecoveryMode::Retry: return "retry";
+    case RecoveryMode::Full: return "full";
+    }
+    return "?";
+}
+
+RecoveryConfig
+recoveryConfigFromEnv()
+{
+    RecoveryConfig cfg;
+    const std::string mode =
+        util::envChoice("RMCC_RECOVERY", {"off", "retry", "full"}, "off");
+    cfg.mode = mode == "retry"  ? RecoveryMode::Retry
+               : mode == "full" ? RecoveryMode::Full
+                                : RecoveryMode::Off;
+    cfg.max_refetch = static_cast<unsigned>(
+        util::envUnsignedOr("RMCC_RECOVERY_RETRIES", cfg.max_refetch));
+    if (const auto v = util::envPositive("RMCC_RECOVERY_STORM_WINDOW"))
+        cfg.storm_window_reads = *v;
+    if (const auto v = util::envPositive("RMCC_RECOVERY_STORM_THRESHOLD"))
+        cfg.storm_threshold = *v;
+    if (const auto v = util::envPositive("RMCC_RECOVERY_DEGRADED_READS"))
+        cfg.degraded_residency_reads = *v;
+    return cfg;
+}
+
+bool
+RecoveryPolicy::onSecureRead()
+{
+    if (!active())
+        return false;
+    bool exited = false;
+    if (degraded_reads_left_ > 0) {
+        ++stats_.degraded_reads;
+        if (--degraded_reads_left_ == 0)
+            exited = true;
+    }
+    if (++window_reads_ >= cfg_.storm_window_reads) {
+        window_reads_ = 0;
+        window_detections_ = 0;
+    }
+    return exited;
+}
+
+bool
+RecoveryPolicy::onDetection()
+{
+    ++stats_.detections;
+    if (!full())
+        return false;
+    if (++window_detections_ < cfg_.storm_threshold)
+        return false;
+    // Threshold tripped: (re-)arm the residency.  Only a transition from
+    // healthy counts as an entry; a storm that keeps tripping while
+    // already degraded just extends the stay.
+    window_detections_ = 0;
+    const bool entering = degraded_reads_left_ == 0;
+    degraded_reads_left_ = cfg_.degraded_residency_reads;
+    if (entering)
+        ++stats_.degraded_entries;
+    return entering;
+}
+
+} // namespace rmcc::mc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * RecoveryPolicy: the self-healing state machine of the secure memory
+ * controller.
+ *
+ * PR 2's DetectionOracle proved the modeled system *detects* corruption
+ * (zero silent corruptions across the 12k-injection matrix); this layer
+ * answers what the controller does *after* a detected MAC/tree mismatch,
+ * and at what availability cost.  On a failed read check the SecureMc
+ * escalates through three stages:
+ *
+ *   1. bounded re-fetch with exponential backoff — heals transient
+ *      transfer faults (the stored cells are intact);
+ *   2. counter reconstruction via an integrity-tree walk from the on-chip
+ *      root — heals persistent counter/tree-node corruption (there is a
+ *      redundant authenticated source to rebuild from);
+ *   3. memo-table quarantine — a poisoned memoized pad is evicted from
+ *      the RMCC table (with the Observed-System-Max monitor re-armed from
+ *      the post-quarantine table, so the poison cannot have ratcheted any
+ *      security threshold) and the read retried with an honestly
+ *      recomputed pad.
+ *
+ * Data-ciphertext/MAC corruption that survives re-fetch is UNRECOVERABLE
+ * by construction — there is no redundant copy of data — and the read is
+ * refused, never served.  Under a sustained fault storm (detections per
+ * sliding read window above a threshold) the policy enters DEGRADED mode:
+ * memoization is disabled and every read pays a full verification charge
+ * for a residency period, shrinking the attack/fault surface at a known
+ * throughput cost.
+ *
+ * Everything here is off by default (`RMCC_RECOVERY=off`): the policy
+ * object exists but active() is false, the read path takes one extra
+ * predicted branch, and every fig03–fig22 CSV stays bit-identical.
+ */
+#ifndef RMCC_MC_RECOVERY_HPP
+#define RMCC_MC_RECOVERY_HPP
+
+#include <cstdint>
+
+namespace rmcc::mc
+{
+
+/** RMCC_RECOVERY policy (strict-parsed). */
+enum class RecoveryMode
+{
+    Off,   //!< Detection only; a failed check is terminal (default).
+    Retry, //!< Bounded re-fetch with backoff; no reconstruction.
+    Full,  //!< Re-fetch + tree-walk reconstruction + memo quarantine
+           //!< + degraded mode under fault storms.
+};
+
+/** Display name of a mode (matches the env spelling). */
+const char *recoveryModeName(RecoveryMode m);
+
+/** Knobs of the recovery state machine. */
+struct RecoveryConfig
+{
+    RecoveryMode mode = RecoveryMode::Off;
+    unsigned max_refetch = 3;        //!< RMCC_RECOVERY_RETRIES.
+    double refetch_backoff_ns = 40.0; //!< Initial backoff; doubles per try.
+    //! Sliding detection window for storm sensing (reads).
+    std::uint64_t storm_window_reads = 512;
+    //! Detections within one window that trip degraded mode.  ~6% of the
+    //! window: a moderate storm (1% of reads faulting) stays far below
+    //! this, so degraded mode is reserved for genuine barrages.
+    std::uint64_t storm_threshold = 32;
+    //! Reads spent in degraded mode per entry (re-armed while storming).
+    std::uint64_t degraded_residency_reads = 4096;
+};
+
+/**
+ * Read RMCC_RECOVERY / RMCC_RECOVERY_RETRIES / RMCC_RECOVERY_STORM_WINDOW
+ * / RMCC_RECOVERY_STORM_THRESHOLD / RMCC_RECOVERY_DEGRADED_READS with
+ * strict parsing.
+ * @throws std::runtime_error on malformed values (util::env semantics).
+ */
+RecoveryConfig recoveryConfigFromEnv();
+
+/** Lifetime availability counters of one RecoveryPolicy. */
+struct RecoveryStats
+{
+    std::uint64_t detections = 0;            //!< Failed read checks.
+    std::uint64_t recovered_refetch = 0;     //!< Healed by stage 1.
+    std::uint64_t recovered_reconstruct = 0; //!< Healed by stage 2.
+    std::uint64_t recovered_quarantine = 0;  //!< Healed by stage 3.
+    std::uint64_t unrecoverable = 0;         //!< Refused, never served.
+    std::uint64_t refetch_attempts = 0;      //!< Total stage-1 tries.
+    std::uint64_t values_quarantined = 0;    //!< Memo values evicted.
+    std::uint64_t degraded_entries = 0;      //!< Degraded-mode entries.
+    std::uint64_t degraded_reads = 0;        //!< Reads served degraded.
+
+    /** Reads re-served after a detection (any stage). */
+    std::uint64_t recovered() const
+    {
+        return recovered_refetch + recovered_reconstruct +
+               recovered_quarantine;
+    }
+
+    /**
+     * Mean time to repair, in read-equivalent operations: the failing
+     * read itself plus its re-fetch attempts, averaged over detections
+     * (0 when nothing was detected).
+     */
+    double mttrReads() const
+    {
+        return detections == 0
+                   ? 0.0
+                   : 1.0 + static_cast<double>(refetch_attempts) /
+                               static_cast<double>(detections);
+    }
+};
+
+/**
+ * The storm/degraded-mode state machine.  Latency and healing actions
+ * live in SecureMc::recoverRead(); this object owns the counters, the
+ * sliding detection window, and degraded-mode residency.
+ */
+class RecoveryPolicy
+{
+  public:
+    RecoveryPolicy() = default;
+    explicit RecoveryPolicy(const RecoveryConfig &cfg) : cfg_(cfg) {}
+
+    /** Is any recovery behaviour enabled? */
+    bool active() const { return cfg_.mode != RecoveryMode::Off; }
+
+    /** Are reconstruction/quarantine/degraded stages enabled? */
+    bool full() const { return cfg_.mode == RecoveryMode::Full; }
+
+    const RecoveryConfig &config() const { return cfg_; }
+
+    /** Currently serving reads in degraded (memoization-off) mode? */
+    bool degraded() const { return degraded_reads_left_ > 0; }
+
+    /**
+     * Account one secure read: slides the storm window and decays
+     * degraded-mode residency.
+     * @return true when this read ended the degraded residency (the
+     *   caller may emit a DegradedExit instant).
+     */
+    bool onSecureRead();
+
+    /**
+     * Account one detected fault: bumps the window count and, in Full
+     * mode, (re-)enters degraded mode when the storm threshold trips.
+     * @return true when this detection newly entered degraded mode.
+     */
+    bool onDetection();
+
+    RecoveryStats &stats() { return stats_; }
+    const RecoveryStats &stats() const { return stats_; }
+
+  private:
+    RecoveryConfig cfg_;
+    RecoveryStats stats_;
+    std::uint64_t window_reads_ = 0;
+    std::uint64_t window_detections_ = 0;
+    std::uint64_t degraded_reads_left_ = 0;
+};
+
+} // namespace rmcc::mc
+
+#endif // RMCC_MC_RECOVERY_HPP

@@ -13,7 +13,7 @@ SecureMc::SecureMc(const McConfig &cfg, ctr::IntegrityTree &tree,
     : cfg_(cfg), tree_(tree), engine_(engine), dram_(dram),
       ctr_cache_("counter-cache", cfg.counter_cache_bytes,
                  cfg.counter_cache_assoc),
-      ovf_(dram)
+      ovf_(dram), recovery_(cfg.recovery)
 {
     h_.dram_total = stats_.handle("dram.total");
     h_.dram_data_read = stats_.handle("dram.data_read");
@@ -218,6 +218,13 @@ SecureMc::read(addr::Addr paddr, double now_ns)
     const addr::BlockId blk = addr::blockOf(paddr);
     const unsigned levels = tree_.levels();
 
+    // Slide the recovery policy's storm window and degraded residency
+    // (one predicted branch when RMCC_RECOVERY=off).
+    if (recovery_.onSecureRead() && obs_)
+        obs_->instant(obs::InstantKind::DegradedExit);
+    const bool degraded = recovery_.degraded();
+    res.recovery.degraded = degraded;
+
     // Walk up the tree until the counter cache hits (or the root).
     // entity[k] is the thing whose counter level k stores; block_id[k] is
     // the counter block at level k that holds it.  Fixed-size stack
@@ -255,6 +262,12 @@ SecureMc::read(addr::Addr paddr, double now_ns)
         consult[k] = engine_.onReadCounterUse(k, entity[k]);
         chargeReadUpdate(k, entity[k], consult[k], now_ns);
     }
+
+    // Degraded mode: memoization is disabled — every consult becomes a
+    // miss, so reads pay full AES and a poisoned memo entry cannot serve.
+    if (degraded)
+        for (unsigned k = 0; k < levels; ++k)
+            consult[k].hit = core::MemoHit::Miss;
 
     res.memo_hit = consult[0].hit != core::MemoHit::Miss;
     if (res.counter_miss) {
@@ -307,8 +320,11 @@ SecureMc::read(addr::Addr paddr, double now_ns)
         hit_level == 0 ? known[0] : verified[0];
     const double decrypted =
         std::max(data_done, otp0) + cfg_.lat.otp_xor_ns;
+    // Degraded mode pays one extra MAC combine: the full-verify rule
+    // re-checks the whole chain instead of trusting memo shortcuts.
     const double data_verified =
-        std::max({data_done, otp0, trusted0}) + cfg_.lat.mac_dot_ns;
+        std::max({data_done, otp0, trusted0}) + cfg_.lat.mac_dot_ns +
+        (degraded ? cfg_.lat.mac_dot_ns : 0.0);
     res.done_ns = std::max(decrypted, data_verified);
 
     // Headline stat (Sec VI): a counter miss counts as accelerated when
@@ -323,6 +339,14 @@ SecureMc::read(addr::Addr paddr, double now_ns)
             stats_.inc(h_.memo_accelerated_misses);
     }
 
+    // Self-healing check runs before latency accounting so a recovered
+    // read carries its true (longer) service time.
+    if (observer_ && recovery_.active()) {
+        const McReadCheck chk = observer_->checkRead(blk, res.memo_hit);
+        if (!chk.pass)
+            recoverRead(blk, paddr, chk, res);
+    }
+
     stats_.inc(h_.lat_read_sum_ns, res.done_ns - now_ns);
     if (obs_) {
         obs_->recordLatency(obs::LatencyHist::McRead, res.done_ns - now_ns);
@@ -332,6 +356,96 @@ SecureMc::read(addr::Addr paddr, double now_ns)
     if (observer_)
         observer_->onDataRead(blk, res.memo_hit);
     return res;
+}
+
+void
+SecureMc::recoverRead(addr::BlockId blk, addr::Addr paddr,
+                      const McReadCheck &first, McReadResult &res)
+{
+    RecoveryStats &rs = recovery_.stats();
+    res.recovery.detected = true;
+    if (recovery_.onDetection() && obs_)
+        obs_->instant(obs::InstantKind::DegradedEnter);
+
+    const RecoveryConfig &rc = recovery_.config();
+    const double t_detect = res.done_ns;
+    double t = res.done_ns;
+    bool healthy = false;
+
+    // Stage 1: bounded re-fetch with exponential backoff.  Heals
+    // transient transfer faults — the stored cells are intact, so a
+    // fresh fetch + re-derive + re-verify comes back clean.
+    double backoff = rc.refetch_backoff_ns;
+    for (unsigned a = 0; a < rc.max_refetch && !healthy; ++a) {
+        ++rs.refetch_attempts;
+        ++res.recovery.refetches;
+        t += backoff;
+        backoff *= 2.0;
+        t = chargeDram(paddr, false, t, h_.dram_data_read);
+        t += cfg_.lat.aes_ns + cfg_.lat.mac_dot_ns;
+        observer_->onRefetch(blk);
+        healthy = observer_->checkRead(blk, res.memo_hit).pass;
+        if (healthy)
+            ++rs.recovered_refetch;
+    }
+
+    // Stage 2: counter reconstruction.  A corrupted counter or tree node
+    // has a redundant authenticated source — the integrity tree walked
+    // from the on-chip root — so rebuild every counter block on the path
+    // (fetch + MAC per level, written back dirty).
+    if (!healthy && recovery_.full() && first.fail_level >= 0) {
+        const unsigned levels = tree_.levels();
+        std::uint64_t entity = blk;
+        for (unsigned k = 0; k < levels; ++k) {
+            const addr::CounterBlockId cb = entity / meta_[k].coverage;
+            // Only the corrupted level's block is rewritten (dirty); the
+            // rest of the path is fetched and verified in place.
+            const bool dirty = static_cast<int>(k) == first.fail_level;
+            t = std::max(t, touchCounterBlock(k, cb, dirty, t).first) +
+                cfg_.lat.mac_dot_ns;
+            entity = cb;
+        }
+        observer_->reconstructCounterPath(blk);
+        res.recovery.reconstructed = true;
+        healthy = observer_->checkRead(blk, res.memo_hit).pass;
+        if (healthy)
+            ++rs.recovered_reconstruct;
+    }
+
+    // Stage 3: memo quarantine.  A poisoned memoized pad must never
+    // serve another read: evict it (the engine re-arms the monitor from
+    // the post-quarantine table — the security-register rollback rule)
+    // and retry with an honestly recomputed OTP.
+    if (!healthy && recovery_.full() && res.memo_hit) {
+        const addr::CounterValue v = tree_.level(0).read(blk);
+        if (engine_.quarantineMemoValue(0, v)) {
+            ++rs.values_quarantined;
+            res.recovery.quarantined = true;
+            if (obs_)
+                obs_->instant(obs::InstantKind::MemoQuarantine);
+        }
+        res.memo_hit = false;
+        res.accelerated = false;
+        t += cfg_.lat.aes_ns; // the pad is recomputed from scratch
+        healthy = observer_->checkRead(blk, res.memo_hit).pass;
+        if (healthy)
+            ++rs.recovered_quarantine;
+    }
+
+    if (healthy) {
+        res.recovery.recovered = true;
+        if (obs_)
+            obs_->instant(obs::InstantKind::FaultRecovered);
+    } else {
+        // Data ciphertext/MAC corruption that survives re-fetch has no
+        // redundant copy to rebuild from: refuse the read.  The caller
+        // must treat the data as never served.
+        ++rs.unrecoverable;
+        res.recovery.unrecoverable = true;
+    }
+    res.done_ns = t;
+    if (obs_)
+        obs_->recordLatency(obs::LatencyHist::Recovery, t - t_detect);
 }
 
 double

@@ -16,6 +16,7 @@
 #include "dram/ddr4.hpp"
 #include "mc/latency.hpp"
 #include "mc/overflow_engine.hpp"
+#include "mc/recovery.hpp"
 #include "util/stats.hpp"
 
 namespace rmcc::obs
@@ -33,6 +34,20 @@ struct McConfig
     std::uint64_t counter_cache_bytes = 128 * 1024;
     unsigned counter_cache_assoc = 32;
     LatencyConfig lat;
+    RecoveryConfig recovery;          //!< Self-healing policy (off default).
+};
+
+/**
+ * Verdict of an observer's integrity check on one read, consumed by the
+ * recovery path.  Mirrors the DetectionOracle's MAC-chain walk: pass is
+ * "every MAC from the trust anchor down matched".
+ */
+struct McReadCheck
+{
+    bool pass = true;
+    //! Failing layer: -1 = data MAC, k >= 0 = tree node at level k,
+    //! -2 = not applicable (check passed).
+    int fail_level = -2;
 };
 
 /**
@@ -55,6 +70,52 @@ class McObserver
      * @param memo_hit the L0 counter value came from the memo table.
      */
     virtual void onDataRead(addr::BlockId blk, bool memo_hit) = 0;
+
+    /**
+     * Recovery hook: re-derive the MAC/tree verdict for a read of blk
+     * before it is served.  Only consulted when RMCC_RECOVERY is not off;
+     * the default (pass) keeps plain observers working unchanged.
+     */
+    virtual McReadCheck checkRead(addr::BlockId blk, bool memo_hit)
+    {
+        (void)blk;
+        (void)memo_hit;
+        return {};
+    }
+
+    /**
+     * Recovery hook: the controller re-fetched blk's path from memory
+     * (stage-1 retry).  A fault model returns true when the re-fetch
+     * observed different (healed) contents — i.e. the armed fault was
+     * transient.
+     */
+    virtual bool onRefetch(addr::BlockId blk)
+    {
+        (void)blk;
+        return false;
+    }
+
+    /**
+     * Recovery hook: the controller rebuilt every counter on blk's path
+     * by walking the integrity tree from the on-chip root (stage-2
+     * reconstruction); stored node images revert to tree truth.
+     */
+    virtual void reconstructCounterPath(addr::BlockId blk) { (void)blk; }
+};
+
+/**
+ * Outcome of the self-healing datapath for one read.  All-false when
+ * RMCC_RECOVERY=off (the default) or when no fault was detected.
+ */
+struct McRecoveryOutcome
+{
+    bool detected = false;      //!< The observer's read check failed.
+    bool recovered = false;     //!< Served after recovery actions.
+    bool unrecoverable = false; //!< Exhausted all stages; NOT served.
+    bool quarantined = false;   //!< A memo value was quarantined.
+    bool reconstructed = false; //!< Counter path rebuilt via tree walk.
+    bool degraded = false;      //!< Read served in degraded (memo-off) mode.
+    std::uint8_t refetches = 0; //!< Stage-1 re-fetch attempts performed.
 };
 
 /** Core-visible outcome of one LLC-miss read. */
@@ -65,6 +126,7 @@ struct McReadResult
     bool memo_hit = false;     //!< L0 counter value was memoized.
     bool accelerated = false;  //!< Counter miss fully served by RMCC
                                //!< (L0 memo hit, L1 cached or memoized).
+    McRecoveryOutcome recovery; //!< Self-healing outcome (off => all false).
 };
 
 /**
@@ -122,6 +184,9 @@ class SecureMc
      * registry never alters timing or stats.
      */
     void attachObs(obs::Registry *obs) { obs_ = obs; }
+
+    /** The self-healing policy state (stats, degraded mode). */
+    const RecoveryPolicy &recovery() const { return recovery_; }
 
   private:
     /**
@@ -182,6 +247,15 @@ class SecureMc
     void chargeReadUpdate(unsigned level, std::uint64_t entity,
                           const core::ReadConsult &consult, double now_ns);
 
+    /**
+     * Escalate a failed read check through the recovery stages (re-fetch,
+     * tree-walk reconstruction, memo quarantine); updates res in place —
+     * done_ns carries the full recovery latency, and
+     * res.recovery.unrecoverable means the data was refused, not served.
+     */
+    void recoverRead(addr::BlockId blk, addr::Addr paddr,
+                     const McReadCheck &first, McReadResult &res);
+
     //! Upper bound on integrity-tree depth; real trees over terabytes of
     //! protected memory need at most ~7 levels at 64:1 arity.
     static constexpr unsigned kMaxLevels = 16;
@@ -197,6 +271,7 @@ class SecureMc
     LevelMeta meta_[kMaxLevels] = {};
     McObserver *observer_ = nullptr;
     obs::Registry *obs_ = nullptr;
+    RecoveryPolicy recovery_;
 };
 
 } // namespace rmcc::mc

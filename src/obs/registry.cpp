@@ -74,6 +74,7 @@ latencyHistName(LatencyHist h)
     case LatencyHist::McRead: return "mc_read_ns";
     case LatencyHist::Dram: return "dram_access_ns";
     case LatencyHist::MacVerify: return "mac_verify_ns";
+    case LatencyHist::Recovery: return "recovery_ns";
     case LatencyHist::kCount: break;
     }
     return "?";
@@ -88,6 +89,10 @@ instantKindName(InstantKind k)
     case InstantKind::Rebase: return "rebase";
     case InstantKind::FaultDetected: return "fault_detected";
     case InstantKind::CellRetry: return "cell_retry";
+    case InstantKind::FaultRecovered: return "fault_recovered";
+    case InstantKind::MemoQuarantine: return "memo_quarantine";
+    case InstantKind::DegradedEnter: return "degraded_enter";
+    case InstantKind::DegradedExit: return "degraded_exit";
     case InstantKind::kCount: break;
     }
     return "?";

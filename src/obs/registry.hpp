@@ -73,6 +73,7 @@ enum class LatencyHist
     McRead,    //!< Secure-MC read: request to data usable, ns.
     Dram,      //!< Single DRAM transfer: issue to burst end, ns.
     MacVerify, //!< MAC verification chain: request to verified, ns.
+    Recovery,  //!< Fault recovery: detection to re-served (or given up), ns.
     kCount,
 };
 
@@ -87,6 +88,10 @@ enum class InstantKind
     Rebase,            //!< Deliberate RMCC relevel/rebase of a block.
     FaultDetected,     //!< Detection oracle flagged a perturbed read.
     CellRetry,         //!< Suite runner retried a failed cell.
+    FaultRecovered,    //!< Recovery re-served a read after a detection.
+    MemoQuarantine,    //!< A poisoned memo-table value was quarantined.
+    DegradedEnter,     //!< RecoveryPolicy entered degraded mode.
+    DegradedExit,      //!< Degraded-mode residency expired.
     kCount,
 };
 

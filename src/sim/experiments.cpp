@@ -10,7 +10,10 @@
 #include <tuple>
 
 #include "crypto/dispatch.hpp"
+#include "mc/recovery.hpp"
 #include "obs/registry.hpp"
+#include "sim/journal.hpp"
+#include "util/cancel.hpp"
 #include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,19 +39,6 @@ placeholderResult(const std::string &workload_name, const NamedConfig &nc)
     return r;
 }
 
-/** Mark every cell of a row failed (e.g. its trace never generated). */
-void
-failWholeRow(SuiteRow &row, const std::vector<NamedConfig> &configs,
-             const std::string &error)
-{
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        row.results[c] = placeholderResult(row.workload, configs[c]);
-        row.statuses[c].state = CellState::Failed;
-        row.statuses[c].attempts = 0;
-        row.statuses[c].error = error;
-    }
-}
-
 /**
  * The shared trace is generated from the FIRST configuration's record
  * count and seed; any config that disagrees would silently simulate a
@@ -71,6 +61,35 @@ validateTraceShape(const std::vector<NamedConfig> &configs)
                 "trace would not match");
         }
     }
+}
+
+/**
+ * One suite cell with checkpoint/resume semantics layered over
+ * runCellGuarded: a journal hit returns the prior (bit-exact) result, a
+ * pending shutdown or missing trace yields a Failed placeholder, and a
+ * freshly run Ok cell is checkpointed before the suite moves on.
+ */
+void
+runCellJournaled(SuiteJournal *journal, const std::string &workload,
+                 const trace::TraceBuffer *trace, const NamedConfig &nc,
+                 const std::string &no_trace_error, SimResult &result,
+                 CellStatus &status)
+{
+    if (journal && journal->lookup(workload, nc.label, result, status))
+        return;
+    if (!trace || shutdownRequested()) {
+        result = placeholderResult(workload, nc);
+        status = CellStatus{};
+        status.state = CellState::Failed;
+        status.attempts = 0;
+        status.error = (!trace && !no_trace_error.empty())
+                           ? no_trace_error
+                           : "interrupted by shutdown request";
+        return;
+    }
+    std::tie(result, status) = runCellGuarded(workload, *trace, nc);
+    if (journal)
+        journal->record(workload, nc.label, result, status);
 }
 
 } // namespace
@@ -125,6 +144,10 @@ runCellGuarded(const std::string &workload_name,
         st.attempts = static_cast<unsigned>(attempt + 1);
         const auto t0 = std::chrono::steady_clock::now();
         try {
+            // The simulators poll this scope's token between records, so
+            // a cell that overruns RMCC_CELL_TIMEOUT_MS (or a SIGTERM'd
+            // suite) aborts here instead of running to completion.
+            util::CancelScope cancel(shutdownFlag(), timeout_ms);
             if (detail::cell_fault_hook)
                 detail::cell_fault_hook(workload_name, nc.label);
             SimResult r = runOne(workload_name, trace, nc);
@@ -133,23 +156,39 @@ runCellGuarded(const std::string &workload_name,
                     std::chrono::steady_clock::now() - t0)
                     .count();
             st.state = CellState::Ok;
-            // Simulations cannot be preempted safely mid-flight, so the
-            // timeout is detect-and-flag: the (valid) result is kept and
-            // the overrun recorded for the caller to act on.
+            // Backstop for cells that finish between polls: the (valid)
+            // result is kept but the overrun is still recorded.
             if (timeout_ms > 0 &&
                 st.elapsed_ms > static_cast<double>(timeout_ms)) {
                 st.state = CellState::TimedOut;
                 st.error = "cell took " + std::to_string(st.elapsed_ms) +
                            " ms (RMCC_CELL_TIMEOUT_MS=" +
                            std::to_string(timeout_ms) + ")";
+                st.attempt_errors.push_back(st.error);
             }
             return {std::move(r), std::move(st)};
+        } catch (const util::CancelledError &e) {
+            // Neither a timeout nor a shutdown is retried: rerunning a
+            // too-slow cell only doubles the overrun, and a shutdown
+            // wants the suite drained, not restarted.
+            st.elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+            st.state =
+                e.reason() == util::CancelledError::Reason::Timeout
+                    ? CellState::TimedOut
+                    : CellState::Failed;
+            st.error = e.what();
+            st.attempt_errors.push_back(st.error);
+            return {placeholderResult(workload_name, nc), std::move(st)};
         } catch (const std::exception &e) {
             st.state = CellState::Failed;
             st.error = e.what();
+            st.attempt_errors.push_back(st.error);
         } catch (...) {
             st.state = CellState::Failed;
             st.error = "unknown exception";
+            st.attempt_errors.push_back(st.error);
         }
         st.elapsed_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - t0)
@@ -162,36 +201,52 @@ SuiteRow
 runWorkload(const wl::Workload &w, const std::vector<NamedConfig> &configs)
 {
     validateTraceShape(configs);
-    // Resolve RMCC_OBS* and the crypto dispatch outside the per-cell
-    // guard: a malformed variable is a caller error, not a per-cell
-    // failure to retry.
+    // Resolve RMCC_OBS*, the crypto dispatch, and the recovery policy
+    // outside the per-cell guard: a malformed variable is a caller
+    // error, not a per-cell failure to retry.
     obs::session();
     crypto::hwAesActive();
+    mc::recoveryConfigFromEnv();
+    // One-workload benches checkpoint too: each runWorkload() call is
+    // its own openFromEnv() invocation, so a bench looping the workload
+    // suite gets base, base.1, base.2... matched by call order on resume.
+    const std::unique_ptr<SuiteJournal> journal =
+        SuiteJournal::openFromEnv(configs);
     SuiteRow row;
     row.workload = w.name;
     row.results.resize(configs.size());
     row.statuses.resize(configs.size());
+    // A fully journaled row needs no trace; skip the (expensive)
+    // generation so resume is near-instant and shutdown drains fast.
+    const bool journaled =
+        journal && journal->workloadComplete(w.name, configs);
     std::optional<trace::TraceBuffer> trace;
-    try {
-        trace.emplace(wl::generateTrace(w,
-                                        configs.front().cfg.trace_records,
-                                        configs.front().cfg.seed));
-    } catch (const std::exception &e) {
-        failWholeRow(row, configs,
-                     std::string("trace generation failed: ") + e.what());
-        return row;
+    std::string trace_error;
+    if (!journaled && !shutdownRequested()) {
+        try {
+            trace.emplace(
+                wl::generateTrace(w, configs.front().cfg.trace_records,
+                                  configs.front().cfg.seed));
+        } catch (const std::exception &e) {
+            trace_error =
+                std::string("trace generation failed: ") + e.what();
+        } catch (...) {
+            trace_error = "trace generation failed: unknown exception";
+        }
     }
+    const trace::TraceBuffer *tp = trace ? &*trace : nullptr;
     const unsigned jobs = suiteJobs();
     if (jobs <= 1 || configs.size() <= 1) {
         for (std::size_t c = 0; c < configs.size(); ++c)
-            std::tie(row.results[c], row.statuses[c]) =
-                runCellGuarded(w.name, *trace, configs[c]);
+            runCellJournaled(journal.get(), w.name, tp, configs[c],
+                             trace_error, row.results[c],
+                             row.statuses[c]);
         return row;
     }
     util::ThreadPool pool(jobs);
     util::parallelFor(pool, configs.size(), [&](std::size_t c) {
-        std::tie(row.results[c], row.statuses[c]) =
-            runCellGuarded(w.name, *trace, configs[c]);
+        runCellJournaled(journal.get(), w.name, tp, configs[c],
+                         trace_error, row.results[c], row.statuses[c]);
     });
     return row;
 }
@@ -201,17 +256,51 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
 {
     validateTraceShape(configs);
     obs::session(); // strict RMCC_OBS* parsing fails loudly up front
-    crypto::hwAesActive(); // same for RMCC_CRYPTO_IMPL/BATCH
+    crypto::hwAesActive();      // same for RMCC_CRYPTO_IMPL/BATCH
+    mc::recoveryConfigFromEnv(); // and for RMCC_RECOVERY*
 
     const std::vector<wl::Workload> &suite = wl::workloadSuite();
     const unsigned jobs = suiteJobs();
+    const std::unique_ptr<SuiteJournal> journal =
+        SuiteJournal::openFromEnv(configs);
 
     if (jobs <= 1) {
-        // Original serial path: workload-major, configs in order.
+        // Original serial path: workload-major, configs in order.  With
+        // no journal and no shutdown this takes exactly the historical
+        // cell sequence (same trace, same order, same results).
         std::vector<SuiteRow> rows;
         rows.reserve(suite.size());
         for (const wl::Workload &w : suite) {
-            rows.push_back(runWorkload(w, configs));
+            SuiteRow row;
+            row.workload = w.name;
+            row.results.resize(configs.size());
+            row.statuses.resize(configs.size());
+            // A fully journaled workload needs no trace at all — resume
+            // skips the generation cost along with the simulations.
+            const bool journaled =
+                journal && journal->workloadComplete(w.name, configs);
+            std::optional<trace::TraceBuffer> trace;
+            std::string trace_error;
+            if (!journaled && !shutdownRequested()) {
+                try {
+                    trace.emplace(wl::generateTrace(
+                        w, configs.front().cfg.trace_records,
+                        configs.front().cfg.seed));
+                } catch (const std::exception &e) {
+                    trace_error =
+                        std::string("trace generation failed: ") +
+                        e.what();
+                } catch (...) {
+                    trace_error =
+                        "trace generation failed: unknown exception";
+                }
+            }
+            for (std::size_t c = 0; c < configs.size(); ++c)
+                runCellJournaled(journal.get(), w.name,
+                                 trace ? &*trace : nullptr, configs[c],
+                                 trace_error, row.results[c],
+                                 row.statuses[c]);
+            rows.push_back(std::move(row));
             if (progress)
                 progress(w.name);
         }
@@ -236,10 +325,16 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
 
     // Phase 1: one trace per workload, generated in parallel and then
     // shared immutably by every configuration of that workload.  A
-    // workload whose generator throws loses only its own row.
+    // workload whose generator throws loses only its own row; a fully
+    // journaled workload skips generation (its cells resume from the
+    // manifest), and a pending shutdown skips it too.
     std::vector<std::optional<trace::TraceBuffer>> traces(n_wl);
     std::vector<std::string> trace_errors(n_wl);
     util::parallelFor(pool, n_wl, [&](std::size_t i) {
+        if (journal && journal->workloadComplete(suite[i].name, configs))
+            return;
+        if (shutdownRequested())
+            return; // cells report "interrupted by shutdown request"
         try {
             traces[i].emplace(wl::generateTrace(
                 suite[i], configs.front().cfg.trace_records,
@@ -262,16 +357,10 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
     util::parallelFor(pool, n_wl * n_cfg, [&](std::size_t t) {
         const std::size_t w = t / n_cfg;
         const std::size_t c = t % n_cfg;
-        if (!traces[w]) {
-            rows[w].results[c] =
-                placeholderResult(suite[w].name, configs[c]);
-            rows[w].statuses[c].state = CellState::Failed;
-            rows[w].statuses[c].attempts = 0;
-            rows[w].statuses[c].error = trace_errors[w];
-        } else {
-            std::tie(rows[w].results[c], rows[w].statuses[c]) =
-                runCellGuarded(suite[w].name, *traces[w], configs[c]);
-        }
+        runCellJournaled(journal.get(), suite[w].name,
+                         traces[w] ? &*traces[w] : nullptr, configs[c],
+                         trace_errors[w], rows[w].results[c],
+                         rows[w].statuses[c]);
         if (progress &&
             cells_done[w].fetch_add(1, std::memory_order_acq_rel) + 1 ==
                 n_cfg)

@@ -55,6 +55,9 @@ struct CellStatus
     unsigned attempts = 1;   //!< Runs performed (1 + retries used).
     double elapsed_ms = 0.0; //!< Wall clock of the last attempt.
     std::string error;       //!< what() of the last failure, if any.
+    //! what() of EVERY failed attempt, oldest first — a retried cell's
+    //! first-attempt error survives into the .errors sidecar.
+    std::vector<std::string> attempt_errors;
 
     bool ok() const { return state == CellState::Ok; }
     bool retried() const { return attempts > 1; }
@@ -98,10 +101,18 @@ using ProgressFn = std::function<void(const std::string &workload)>;
  * Cells are failure-isolated: a cell that throws is retried up to
  * RMCC_CELL_RETRIES times (default 1) on a fresh rig, and if every
  * attempt fails, its CellStatus records the error while the rest of the
- * grid completes normally.  A cell slower than RMCC_CELL_TIMEOUT_MS
- * (default 0 = disabled) keeps its result but is flagged TimedOut.  A
- * workload whose trace generation fails has every cell of its row marked
- * Failed.
+ * grid completes normally.  A cell exceeding RMCC_CELL_TIMEOUT_MS
+ * (default 0 = disabled) is aborted cooperatively — the simulator polls a
+ * cancellation token between records — and recorded TimedOut with a
+ * placeholder result; timeouts are not retried.  A workload whose trace
+ * generation fails has every cell of its row marked Failed.
+ *
+ * Crash safety: when RMCC_SUITE_JOURNAL names a file, every completed
+ * cell is checkpointed there (atomic write-temp+rename) and a rerun with
+ * RMCC_SUITE_RESUME=1 skips journaled cells with bit-identical results;
+ * SIGTERM/SIGINT abort in-flight cells and mark unstarted ones Failed
+ * ("interrupted by shutdown request") so callers can flush partial
+ * output and exit 128+signum.  See sim/journal.hpp.
  *
  * @throws std::invalid_argument if the configurations disagree on the
  *         trace shape (trace_records / seed) — a silent mismatch would

@@ -55,6 +55,10 @@ runFunctional(const std::string &workload_name,
     addr::Addr next_paddr =
         n_records > 0 ? rig.mapper.translate(records[0].vaddr) : 0;
     for (std::size_t i = 0; i < n_records; ++i) {
+        // Cooperative cancellation: a cell past RMCC_CELL_TIMEOUT_MS (or
+        // a SIGTERM'd suite) aborts here instead of running to the end.
+        if ((i & 0x1fff) == 0)
+            util::pollCancel();
         const trace::Record &rec = records[i];
         if (i == cfg.warmup_records) {
             mc_at_warm = rig.mc.stats();

@@ -1,0 +1,430 @@
+#include "sim/journal.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/env.hpp"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace rmcc::sim
+{
+
+namespace
+{
+
+// --- shutdown latch (async-signal-safe: two relaxed atomic stores) -------
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_signal{0};
+
+extern "C" void
+onShutdownSignal(int sig)
+{
+    g_signal.store(sig, std::memory_order_relaxed);
+    g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+// --- manifest text format --------------------------------------------------
+
+constexpr const char *kMagic = "rmcc-journal v1";
+
+std::uint64_t
+fnv1a(const std::string &s, std::uint64_t h = 0xcbf29ce484222325ULL)
+{
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Signature of the config set: labels in order (identity of the suite). */
+std::uint64_t
+configSignature(const std::vector<NamedConfig> &configs)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const NamedConfig &nc : configs)
+        h = fnv1a(nc.label + "\n", h);
+    return h;
+}
+
+/** %-hex escape so names tokenize on whitespace and survive round trips. */
+std::string
+escapeToken(const std::string &s)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        const bool plain = (u >= 'a' && u <= 'z') ||
+                           (u >= 'A' && u <= 'Z') ||
+                           (u >= '0' && u <= '9') || u == '.' ||
+                           u == '_' || u == '-' || u == '/';
+        if (plain && u != '%') {
+            out.push_back(c);
+        } else {
+            out.push_back('%');
+            out.push_back(hex[u >> 4]);
+            out.push_back(hex[u & 0xf]);
+        }
+    }
+    return out.empty() ? std::string("%00") : out;
+}
+
+bool
+unescapeToken(const std::string &s, std::string &out)
+{
+    out.clear();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%') {
+            out.push_back(s[i]);
+            continue;
+        }
+        if (i + 2 >= s.size())
+            return false;
+        auto nib = [](char c) -> int {
+            if (c >= '0' && c <= '9')
+                return c - '0';
+            if (c >= 'a' && c <= 'f')
+                return c - 'a' + 10;
+            return -1;
+        };
+        const int hi = nib(s[i + 1]), lo = nib(s[i + 2]);
+        if (hi < 0 || lo < 0)
+            return false;
+        const char c = static_cast<char>((hi << 4) | lo);
+        if (c != '\0')
+            out.push_back(c);
+        i += 2;
+    }
+    return true;
+}
+
+/** Doubles travel as exact bit patterns so resumed CSVs are bit-identical. */
+std::string
+bitsHex(double d)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof u);
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(u));
+    return buf;
+}
+
+bool
+parseHex(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s.size() > 16)
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        int d;
+        if (c >= '0' && c <= '9')
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else
+            return false;
+        v = (v << 4) | static_cast<std::uint64_t>(d);
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseBits(const std::string &s, double &out)
+{
+    std::uint64_t u = 0;
+    if (!parseHex(s, u))
+        return false;
+    std::memcpy(&out, &u, sizeof out);
+    return true;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+void
+installShutdownHandlers()
+{
+    static std::atomic<bool> installed{false};
+    bool expected = false;
+    if (!installed.compare_exchange_strong(expected, true))
+        return;
+    std::signal(SIGTERM, onShutdownSignal);
+    std::signal(SIGINT, onShutdownSignal);
+}
+
+bool
+shutdownRequested()
+{
+    return g_shutdown.load(std::memory_order_relaxed);
+}
+
+int
+shutdownSignal()
+{
+    return g_signal.load(std::memory_order_relaxed);
+}
+
+void
+requestShutdown(int sig)
+{
+    onShutdownSignal(sig);
+}
+
+void
+resetShutdownForTest()
+{
+    g_shutdown.store(false, std::memory_order_relaxed);
+    g_signal.store(0, std::memory_order_relaxed);
+}
+
+const std::atomic<bool> *
+shutdownFlag()
+{
+    return &g_shutdown;
+}
+
+SuiteJournal::SuiteJournal(std::string path, std::uint64_t seed,
+                           std::uint64_t trace_records,
+                           std::uint64_t config_sig)
+    : path_(std::move(path)), seed_(seed), trace_records_(trace_records),
+      config_sig_(config_sig)
+{
+}
+
+std::unique_ptr<SuiteJournal>
+SuiteJournal::openFromEnv(const std::vector<NamedConfig> &configs)
+{
+    const char *env = std::getenv("RMCC_SUITE_JOURNAL");
+    if (!env || !*env)
+        return nullptr;
+
+    // One manifest per runSuite() invocation: a multi-suite bench gets
+    // base, base.1, base.2... matched by invocation order on resume.
+    static std::atomic<unsigned> invocation{0};
+    const unsigned n = invocation.fetch_add(1);
+    std::string path = env;
+    if (n > 0)
+        path += "." + std::to_string(n);
+
+    installShutdownHandlers();
+    return openAt(std::move(path), configs,
+                  util::envUnsignedOr("RMCC_SUITE_RESUME", 0) != 0);
+}
+
+std::unique_ptr<SuiteJournal>
+SuiteJournal::openAt(std::string path,
+                     const std::vector<NamedConfig> &configs, bool resume)
+{
+    const std::uint64_t seed = configs.empty() ? 0 : configs.front().cfg.seed;
+    const std::uint64_t records =
+        configs.empty() ? 0 : configs.front().cfg.trace_records;
+    std::unique_ptr<SuiteJournal> j(new SuiteJournal(
+        std::move(path), seed, records, configSignature(configs)));
+
+    if (resume) {
+        std::lock_guard<std::mutex> lk(j->mu_);
+        if (!j->loadLocked())
+            j->cells_.clear(); // stale/corrupt/foreign: start fresh
+        j->resumed_ = j->cells_.size();
+    }
+    return j;
+}
+
+bool
+SuiteJournal::loadLocked()
+{
+    std::ifstream in(path_);
+    if (!in)
+        return false;
+
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic)
+        return false;
+
+    auto headerField = [&](const char *key, std::uint64_t &out) {
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream ls(line);
+        std::string k, v;
+        return (ls >> k >> v) && k == key && parseHex(v, out);
+    };
+    std::uint64_t seed = 0, records = 0, sig = 0, checksum = 0;
+    if (!headerField("seed", seed) ||
+        !headerField("trace_records", records) ||
+        !headerField("configs", sig) || !headerField("checksum", checksum))
+        return false;
+    if (seed != seed_ || records != trace_records_ || sig != config_sig_)
+        return false;
+
+    std::ostringstream body;
+    body << in.rdbuf();
+    const std::string text = body.str();
+    if (fnv1a(text) != checksum)
+        return false;
+
+    std::map<std::pair<std::string, std::string>, Entry> cells;
+    std::istringstream bs(text);
+    while (std::getline(bs, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string tag, wl_tok, lb_tok, ms_tok, ns_tok;
+        unsigned attempts = 0;
+        std::uint64_t instructions = 0;
+        std::size_t nstats = 0;
+        if (!(ls >> tag >> wl_tok >> lb_tok >> attempts >> ms_tok >>
+              std::hex >> instructions >> std::dec >> ns_tok >> nstats) ||
+            tag != "cell")
+            return false;
+        Entry e;
+        e.attempts = attempts;
+        e.instructions = instructions;
+        std::string wl, lb;
+        if (!unescapeToken(wl_tok, wl) || !unescapeToken(lb_tok, lb) ||
+            !parseBits(ms_tok, e.elapsed_ms) ||
+            !parseBits(ns_tok, e.elapsed_ns))
+            return false;
+        e.stats.reserve(nstats);
+        for (std::size_t i = 0; i < nstats; ++i) {
+            std::string name_tok, bits_tok, name;
+            double value = 0.0;
+            if (!(ls >> name_tok >> bits_tok) ||
+                !unescapeToken(name_tok, name) ||
+                !parseBits(bits_tok, value))
+                return false;
+            e.stats.emplace_back(std::move(name), value);
+        }
+        cells[{std::move(wl), std::move(lb)}] = std::move(e);
+    }
+    cells_ = std::move(cells);
+    return true;
+}
+
+std::string
+SuiteJournal::serializeBodyLocked() const
+{
+    std::ostringstream out;
+    for (const auto &kv : cells_) {
+        const Entry &e = kv.second;
+        out << "cell " << escapeToken(kv.first.first) << ' '
+            << escapeToken(kv.first.second) << ' ' << e.attempts << ' '
+            << bitsHex(e.elapsed_ms) << ' ' << std::hex << e.instructions
+            << std::dec << ' ' << bitsHex(e.elapsed_ns) << ' '
+            << e.stats.size();
+        for (const auto &st : e.stats)
+            out << ' ' << escapeToken(st.first) << ' '
+                << bitsHex(st.second);
+        out << '\n';
+    }
+    return out.str();
+}
+
+void
+SuiteJournal::saveLocked() const
+{
+    const std::string body = serializeBodyLocked();
+#ifdef __unix__
+    const unsigned long uniq = static_cast<unsigned long>(::getpid());
+#else
+    const unsigned long uniq = 0;
+#endif
+    const std::string tmp = path_ + ".tmp." + std::to_string(uniq);
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return; // unwritable journal is a lost optimization, not fatal
+        out << kMagic << '\n';
+        out << "seed " << hex64(seed_) << '\n';
+        out << "trace_records " << hex64(trace_records_) << '\n';
+        out << "configs " << hex64(config_sig_) << '\n';
+        out << "checksum " << hex64(fnv1a(body)) << '\n';
+        out << body;
+        out.flush();
+        if (!out)
+            return;
+    }
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+        std::remove(tmp.c_str());
+}
+
+bool
+SuiteJournal::lookup(const std::string &workload, const std::string &label,
+                     SimResult &result, CellStatus &status) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = cells_.find({workload, label});
+    if (it == cells_.end())
+        return false;
+    const Entry &e = it->second;
+    result = SimResult{};
+    result.workload = workload;
+    result.config_label = label;
+    result.instructions = e.instructions;
+    result.elapsed_ns = e.elapsed_ns;
+    for (const auto &st : e.stats)
+        result.stats.set(st.first, st.second);
+    status = CellStatus{};
+    status.state = CellState::Ok;
+    status.attempts = e.attempts;
+    status.elapsed_ms = e.elapsed_ms;
+    return true;
+}
+
+bool
+SuiteJournal::workloadComplete(const std::string &workload,
+                               const std::vector<NamedConfig> &configs) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const NamedConfig &nc : configs)
+        if (cells_.find({workload, nc.label}) == cells_.end())
+            return false;
+    return true;
+}
+
+void
+SuiteJournal::record(const std::string &workload, const std::string &label,
+                     const SimResult &result, const CellStatus &status)
+{
+    if (!status.ok())
+        return; // failed/timed-out cells must rerun on resume
+    Entry e;
+    e.attempts = status.attempts;
+    e.elapsed_ms = status.elapsed_ms;
+    e.instructions = result.instructions;
+    e.elapsed_ns = result.elapsed_ns;
+    const auto all = result.stats.all();
+    e.stats.assign(all.begin(), all.end());
+    std::lock_guard<std::mutex> lk(mu_);
+    cells_[{workload, label}] = std::move(e);
+    saveLocked();
+}
+
+std::size_t
+SuiteJournal::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return cells_.size();
+}
+
+} // namespace rmcc::sim

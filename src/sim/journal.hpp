@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Crash-safe suite checkpointing: a per-cell journal manifest plus the
+ * process-wide graceful-shutdown latch.
+ *
+ * When RMCC_SUITE_JOURNAL names a file, the suite runner records every
+ * completed (workload, config) cell — its full StatSet, instruction
+ * count, and window wall time — after the cell finishes.  Each record()
+ * rewrites the manifest through a write-temp+rename (the graph-cache
+ * discipline), so a crash or SIGTERM at any instant leaves either the
+ * previous complete manifest or the new one, never a torn file.  A rerun
+ * with RMCC_SUITE_RESUME=1 loads the manifest, validates its checksum
+ * and the suite identity (trace shape, seed, config labels), and skips
+ * every journaled cell — the resumed run's CSVs are bit-identical to an
+ * uninterrupted run because doubles are journaled as exact bit patterns.
+ *
+ * The shutdown latch is the other half of crash safety: SIGTERM/SIGINT
+ * set an async-signal-safe flag that the suite runner polls between (and
+ * cooperatively inside) cells, so an interrupted suite flushes partial
+ * results and exits 128+signum instead of dying mid-write.
+ */
+#ifndef RMCC_SIM_JOURNAL_HPP
+#define RMCC_SIM_JOURNAL_HPP
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/experiments.hpp"
+
+namespace rmcc::sim
+{
+
+/**
+ * Append-logically / rewrite-physically manifest of completed suite
+ * cells.  Thread-safe: record()/lookup() may race across the suite
+ * thread pool.  Only CellState::Ok cells are journaled — failed or
+ * timed-out cells rerun on resume.
+ */
+class SuiteJournal
+{
+  public:
+    /**
+     * Journal policy from the environment.  Returns nullptr when
+     * RMCC_SUITE_JOURNAL is unset or empty (the common case: no journal,
+     * zero overhead).  Each runSuite() invocation in one process gets a
+     * distinct file (".1", ".2"... suffixes) so multi-suite benches
+     * journal every suite, matched by invocation order on resume.
+     *
+     * With RMCC_SUITE_RESUME=1 an existing manifest is loaded and
+     * validated against the configs (seed, trace_records, config-label
+     * signature, body checksum); any mismatch discards it and starts
+     * fresh rather than resuming into a different experiment.
+     *
+     * Installs the SIGTERM/SIGINT shutdown handlers as a side effect —
+     * a journaled suite is expected to be killable.
+     */
+    static std::unique_ptr<SuiteJournal>
+    openFromEnv(const std::vector<NamedConfig> &configs);
+
+    /**
+     * Open a journal at an explicit path (the openFromEnv() workhorse;
+     * also the test seam — no env, no invocation counter, no signal
+     * handlers).  With resume=true an existing valid manifest is loaded;
+     * an invalid one is discarded.
+     */
+    static std::unique_ptr<SuiteJournal>
+    openAt(std::string path, const std::vector<NamedConfig> &configs,
+           bool resume);
+
+    /**
+     * Fetch a previously journaled cell.  On a hit, fills the result
+     * (bit-exact stats) and a synthetic Ok status and returns true.
+     */
+    bool lookup(const std::string &workload, const std::string &label,
+                SimResult &result, CellStatus &status) const;
+
+    /** Every configuration of this workload already journaled? */
+    bool workloadComplete(const std::string &workload,
+                          const std::vector<NamedConfig> &configs) const;
+
+    /**
+     * Journal one completed cell and atomically rewrite the manifest.
+     * Non-Ok cells are ignored (they must rerun on resume).
+     */
+    void record(const std::string &workload, const std::string &label,
+                const SimResult &result, const CellStatus &status);
+
+    /** Cells currently journaled (resume hits + this run's records). */
+    std::size_t size() const;
+
+    /** Manifest path (for tests and log messages). */
+    const std::string &path() const { return path_; }
+
+    /** Cells restored from a prior run by openFromEnv(). */
+    std::size_t resumed() const { return resumed_; }
+
+  private:
+    struct Entry
+    {
+        unsigned attempts = 1;
+        double elapsed_ms = 0.0;
+        std::uint64_t instructions = 0;
+        double elapsed_ns = 0.0;
+        std::vector<std::pair<std::string, double>> stats;
+    };
+
+    SuiteJournal(std::string path, std::uint64_t seed,
+                 std::uint64_t trace_records, std::uint64_t config_sig);
+
+    bool loadLocked();
+    void saveLocked() const;
+    std::string serializeBodyLocked() const;
+
+    std::string path_;
+    std::uint64_t seed_ = 0;
+    std::uint64_t trace_records_ = 0;
+    std::uint64_t config_sig_ = 0;
+    std::size_t resumed_ = 0;
+    mutable std::mutex mu_;
+    std::map<std::pair<std::string, std::string>, Entry> cells_;
+};
+
+// --- graceful shutdown latch ---------------------------------------------
+
+/**
+ * Install SIGTERM/SIGINT handlers that set the shutdown latch (idempotent;
+ * first call wins).  Called by SuiteJournal::openFromEnv(); benches that
+ * want graceful shutdown without a journal may call it directly.
+ */
+void installShutdownHandlers();
+
+/** Has SIGTERM/SIGINT been received (or requestShutdown() called)? */
+bool shutdownRequested();
+
+/** The signal that tripped the latch (0 if none); exit with 128+this. */
+int shutdownSignal();
+
+/** Trip the latch programmatically (tests; also reusable as an API). */
+void requestShutdown(int sig);
+
+/** Reset the latch (tests only — production never un-requests). */
+void resetShutdownForTest();
+
+/** The latch itself, for wiring into util::CancelScope. */
+const std::atomic<bool> *shutdownFlag();
+
+} // namespace rmcc::sim
+
+#endif // RMCC_SIM_JOURNAL_HPP

@@ -171,6 +171,28 @@ registerRigProbes(obs::Registry &o, SimRig &rig,
         return double(crypto::cryptoOpCounts().clmul_batch_calls);
     });
 
+    // Recovery datapath (zero-cost when RMCC_RECOVERY=off: no probes).
+    const mc::RecoveryPolicy &rp = rig.mc.recovery();
+    if (rp.active()) {
+        o.addProbe("recovery.detections", [&rp] {
+            return double(rp.stats().detections);
+        });
+        o.addProbe("recovery.recovered",
+                   [&rp] { return double(rp.stats().recovered()); });
+        o.addProbe("recovery.unrecoverable", [&rp] {
+            return double(rp.stats().unrecoverable);
+        });
+        o.addProbe("recovery.refetch_attempts", [&rp] {
+            return double(rp.stats().refetch_attempts);
+        });
+        o.addProbe("recovery.values_quarantined", [&rp] {
+            return double(rp.stats().values_quarantined);
+        });
+        o.addProbe("recovery.degraded_reads", [&rp] {
+            return double(rp.stats().degraded_reads);
+        });
+    }
+
     // Trace health: records refused by the bounded buffer.
     o.addProbe("trace.dropped",
                [&trace] { return double(trace.dropped()); });

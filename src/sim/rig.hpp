@@ -14,8 +14,10 @@
 #include "counters/tree.hpp"
 #include "crypto/dispatch.hpp"
 #include "dram/ddr4.hpp"
+#include "mc/recovery.hpp"
 #include "mc/secure_mc.hpp"
 #include "sim/system_config.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace rmcc::sim::detail
@@ -55,7 +57,8 @@ struct SimRig
           engine(effectiveRmccConfig(cfg), tree),
           dram(cfg.dram),
           mc(mc::McConfig{cfg.secure, cfg.counter_cache_bytes,
-                          cfg.counter_cache_assoc, cfg.lat},
+                          cfg.counter_cache_assoc, cfg.lat,
+                          mc::recoveryConfigFromEnv()},
              tree, engine, dram),
           init_max(0)
     {
@@ -95,7 +98,10 @@ preconditionRmcc(SimRig &rig, const SystemConfig &cfg,
     // writeback addresses — the same streams the measured run will
     // produce — without pre-warming the measured caches.
     cache::Hierarchy scratch(cfg.l1, cfg.l2, cfg.llc);
+    std::uint64_t polled = 0;
     for (const trace::Record &rec : trace.records()) {
+        if ((polled++ & 0x1fff) == 0)
+            util::pollCancel();
         const addr::Addr paddr = rig.mapper.translate(rec.vaddr);
         const cache::HierarchyResult h =
             scratch.access(paddr, rec.is_write);

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "crypto/dispatch.hpp"
 #include "dram/ddr4.hpp"
 #include "fault/campaign.hpp"
 #include "mc/secure_mc.hpp"
@@ -303,4 +305,61 @@ TEST(FaultSweep, FunctionalSimIntegration)
     EXPECT_GT(s.detected(), 0u);
     // Stats survive the rig teardown (the campaign outlives the stack).
     EXPECT_EQ(campaign.stats().injected, plan.injections);
+}
+
+TEST(FaultSweep, HwBatchCryptoClassifiesMatrixIdentically)
+{
+    // Detection verdicts are a crypto-functional property: routing the
+    // MAC/OTP kernels through the pipelined AES-NI / PCLMULQDQ batch
+    // path must classify the injection matrix cell for cell like the
+    // scalar software kernels — same (site, kind, outcome) counts, not
+    // just the same aggregates.
+    const crypto::CpuFeatures feat = crypto::detectCpuFeatures();
+    if (!feat.aesni || !feat.pclmul)
+        GTEST_SKIP() << "no AES-NI/PCLMULQDQ on this host";
+
+    FaultPlan plan;
+    plan.injections = 1500;
+    plan.gap_records = 4;
+    plan.seed = 0x5eed;
+    SweepConfig cfg;
+    cfg.seed = 23;
+
+    const char *prev_impl = std::getenv("RMCC_CRYPTO_IMPL");
+    const char *prev_batch = std::getenv("RMCC_CRYPTO_BATCH");
+    const std::string saved_impl = prev_impl != nullptr ? prev_impl : "";
+    const std::string saved_batch = prev_batch != nullptr ? prev_batch : "";
+
+    setenv("RMCC_CRYPTO_IMPL", "sw", 1);
+    setenv("RMCC_CRYPTO_BATCH", "off", 1);
+    crypto::reresolveCryptoDispatch();
+    const FaultStats scalar = runFaultSweep(plan, cfg);
+
+    setenv("RMCC_CRYPTO_IMPL", "hw", 1);
+    setenv("RMCC_CRYPTO_BATCH", "on", 1);
+    crypto::reresolveCryptoDispatch();
+    const FaultStats hw = runFaultSweep(plan, cfg);
+
+    if (prev_impl != nullptr)
+        setenv("RMCC_CRYPTO_IMPL", saved_impl.c_str(), 1);
+    else
+        unsetenv("RMCC_CRYPTO_IMPL");
+    if (prev_batch != nullptr)
+        setenv("RMCC_CRYPTO_BATCH", saved_batch.c_str(), 1);
+    else
+        unsetenv("RMCC_CRYPTO_BATCH");
+    crypto::reresolveCryptoDispatch();
+
+    EXPECT_EQ(hw.injected, scalar.injected);
+    EXPECT_EQ(hw.reads_verified, scalar.reads_verified);
+    EXPECT_EQ(hw.unexpected_failures, scalar.unexpected_failures);
+    EXPECT_EQ(scalar.silent(), 0u);
+    EXPECT_EQ(hw.silent(), 0u);
+    for (unsigned si = 0; si < kSiteCount; ++si)
+        for (unsigned ki = 0; ki < kKindCount; ++ki)
+            for (unsigned o = 0; o < 3; ++o)
+                EXPECT_EQ(hw.counts[si][ki][o], scalar.counts[si][ki][o])
+                    << siteName(static_cast<FaultSite>(si)) << "/"
+                    << kindName(static_cast<FaultKind>(ki))
+                    << " outcome " << o;
 }

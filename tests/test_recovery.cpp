@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Recovery-subsystem tests: the RecoveryPolicy storm/degraded state
+ * machine and its env knobs, memo-table quarantine semantics (including
+ * the security-register rollback rule), per-mode storm invariants (a
+ * detected fault is recovered or refused, never served), the zero-cost
+ * guarantee of an armed-but-idle policy, and the crash-safe suite
+ * journal (bit-exact round trip, resume validation, and the
+ * skip-journaled-cells integration through runSuite).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+
+#include "core/rmcc_engine.hpp"
+#include "fault/storm.hpp"
+#include "mc/recovery.hpp"
+#include "sim/experiments.hpp"
+#include "sim/journal.hpp"
+
+using namespace rmcc;
+using namespace rmcc::mc;
+
+namespace
+{
+
+RecoveryConfig
+fullConfig(std::uint64_t window, std::uint64_t threshold,
+           std::uint64_t residency)
+{
+    RecoveryConfig cfg;
+    cfg.mode = RecoveryMode::Full;
+    cfg.storm_window_reads = window;
+    cfg.storm_threshold = threshold;
+    cfg.degraded_residency_reads = residency;
+    return cfg;
+}
+
+} // namespace
+
+TEST(RecoveryPolicy, OffModeIsInert)
+{
+    RecoveryPolicy p;
+    EXPECT_FALSE(p.active());
+    EXPECT_FALSE(p.full());
+    EXPECT_FALSE(p.degraded());
+    EXPECT_FALSE(p.onSecureRead());
+    EXPECT_EQ(p.stats().detections, 0u);
+}
+
+TEST(RecoveryPolicy, RetryModeNeverDegrades)
+{
+    RecoveryConfig cfg = fullConfig(8, 2, 16);
+    cfg.mode = RecoveryMode::Retry;
+    RecoveryPolicy p(cfg);
+    EXPECT_TRUE(p.active());
+    EXPECT_FALSE(p.full());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(p.onDetection());
+    EXPECT_FALSE(p.degraded());
+    EXPECT_EQ(p.stats().detections, 100u);
+    EXPECT_EQ(p.stats().degraded_entries, 0u);
+}
+
+TEST(RecoveryPolicy, StormThresholdTripsDegradedOnce)
+{
+    RecoveryPolicy p(fullConfig(64, 3, 10));
+    EXPECT_FALSE(p.onDetection());
+    EXPECT_FALSE(p.onDetection());
+    EXPECT_FALSE(p.degraded());
+    EXPECT_TRUE(p.onDetection()); // third within the window: enter
+    EXPECT_TRUE(p.degraded());
+    EXPECT_EQ(p.stats().degraded_entries, 1u);
+
+    // Residency decays per read; the draining read reports the exit.
+    for (int i = 0; i < 9; ++i) {
+        EXPECT_FALSE(p.onSecureRead());
+        EXPECT_TRUE(p.degraded());
+    }
+    EXPECT_TRUE(p.onSecureRead());
+    EXPECT_FALSE(p.degraded());
+    EXPECT_EQ(p.stats().degraded_reads, 10u);
+}
+
+TEST(RecoveryPolicy, ReArmWhileDegradedExtendsWithoutNewEntry)
+{
+    RecoveryPolicy p(fullConfig(64, 2, 10));
+    p.onDetection();
+    EXPECT_TRUE(p.onDetection()); // enter
+    for (int i = 0; i < 5; ++i)
+        p.onSecureRead(); // 5 reads of residency consumed
+    p.onDetection();
+    EXPECT_FALSE(p.onDetection()); // re-trip: extend, not a new entry
+    EXPECT_EQ(p.stats().degraded_entries, 1u);
+    // The stay was re-armed to the full residency, not the remainder.
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FALSE(p.onSecureRead());
+    EXPECT_TRUE(p.onSecureRead());
+    EXPECT_FALSE(p.degraded());
+}
+
+TEST(RecoveryPolicy, WindowBoundaryForgetsOldDetections)
+{
+    RecoveryPolicy p(fullConfig(4, 2, 10));
+    p.onDetection();
+    for (int i = 0; i < 4; ++i)
+        p.onSecureRead(); // window rolls: the count resets
+    EXPECT_FALSE(p.onDetection()); // 1st of the new window, not 2nd
+    EXPECT_FALSE(p.degraded());
+}
+
+TEST(RecoveryStats, MttrAveragesRefetchesOverDetections)
+{
+    RecoveryStats s;
+    EXPECT_DOUBLE_EQ(s.mttrReads(), 0.0);
+    s.detections = 4;
+    s.refetch_attempts = 6;
+    EXPECT_DOUBLE_EQ(s.mttrReads(), 2.5); // the read itself + 6/4
+    s.recovered_refetch = 2;
+    s.recovered_reconstruct = 1;
+    s.recovered_quarantine = 1;
+    EXPECT_EQ(s.recovered(), 4u);
+}
+
+TEST(RecoveryConfigEnv, DefaultsAreOffAndCalibrated)
+{
+    unsetenv("RMCC_RECOVERY");
+    unsetenv("RMCC_RECOVERY_RETRIES");
+    unsetenv("RMCC_RECOVERY_STORM_WINDOW");
+    unsetenv("RMCC_RECOVERY_STORM_THRESHOLD");
+    unsetenv("RMCC_RECOVERY_DEGRADED_READS");
+    const RecoveryConfig cfg = recoveryConfigFromEnv();
+    EXPECT_EQ(cfg.mode, RecoveryMode::Off);
+    EXPECT_EQ(cfg.max_refetch, 3u);
+    EXPECT_EQ(cfg.storm_window_reads, 512u);
+    EXPECT_EQ(cfg.storm_threshold, 32u);
+    EXPECT_EQ(cfg.degraded_residency_reads, 4096u);
+}
+
+TEST(RecoveryConfigEnv, ParsesModesAndKnobs)
+{
+    setenv("RMCC_RECOVERY", "retry", 1);
+    EXPECT_EQ(recoveryConfigFromEnv().mode, RecoveryMode::Retry);
+    setenv("RMCC_RECOVERY", "full", 1);
+    setenv("RMCC_RECOVERY_RETRIES", "5", 1);
+    setenv("RMCC_RECOVERY_STORM_WINDOW", "128", 1);
+    setenv("RMCC_RECOVERY_STORM_THRESHOLD", "9", 1);
+    setenv("RMCC_RECOVERY_DEGRADED_READS", "777", 1);
+    const RecoveryConfig cfg = recoveryConfigFromEnv();
+    EXPECT_EQ(cfg.mode, RecoveryMode::Full);
+    EXPECT_EQ(cfg.max_refetch, 5u);
+    EXPECT_EQ(cfg.storm_window_reads, 128u);
+    EXPECT_EQ(cfg.storm_threshold, 9u);
+    EXPECT_EQ(cfg.degraded_residency_reads, 777u);
+    unsetenv("RMCC_RECOVERY");
+    unsetenv("RMCC_RECOVERY_RETRIES");
+    unsetenv("RMCC_RECOVERY_STORM_WINDOW");
+    unsetenv("RMCC_RECOVERY_STORM_THRESHOLD");
+    unsetenv("RMCC_RECOVERY_DEGRADED_READS");
+}
+
+TEST(RecoveryConfigEnv, GarbageModeThrows)
+{
+    setenv("RMCC_RECOVERY", "maybe", 1);
+    EXPECT_THROW(recoveryConfigFromEnv(), std::runtime_error);
+    unsetenv("RMCC_RECOVERY");
+}
+
+TEST(MemoQuarantine, QuarantinedValueRefusedUntilEpochEnd)
+{
+    core::MemoTable t;
+    t.insertGroup(100);
+    EXPECT_EQ(t.lookupRead(103), core::MemoHit::GroupHit);
+    EXPECT_TRUE(t.quarantineValue(103));
+    EXPECT_TRUE(t.isQuarantined(103));
+    EXPECT_EQ(t.quarantinedCount(), 1u);
+    // The covering group is invalidated (every pad it cached is suspect)
+    // and the poisoned value itself is refused even if re-learned.
+    EXPECT_EQ(t.validGroups(), 0u);
+    for (addr::CounterValue v = 100; v < 108; ++v)
+        EXPECT_EQ(t.lookupRead(v), core::MemoHit::Miss) << v;
+    t.insertGroup(100);
+    EXPECT_EQ(t.lookupRead(103), core::MemoHit::Miss);
+    EXPECT_EQ(t.lookupRead(104), core::MemoHit::GroupHit);
+    // Epoch reselection re-derives every pad from scratch: honest again.
+    t.endOfEpoch();
+    EXPECT_EQ(t.quarantinedCount(), 0u);
+    EXPECT_FALSE(t.isQuarantined(103));
+}
+
+TEST(MemoQuarantine, RecentOnlyValueIsDropped)
+{
+    core::MemoConfig cfg;
+    cfg.groups = 1;
+    core::MemoTable t(cfg);
+    t.insertGroup(100);
+    t.insertGroup(200); // 100 -> shadow
+    t.lookupRead(100);  // shadow value: memoized as MRU recent
+    EXPECT_EQ(t.lookupRead(100), core::MemoHit::RecentHit);
+    EXPECT_TRUE(t.quarantineValue(100));
+    EXPECT_EQ(t.lookupRead(100), core::MemoHit::Miss);
+}
+
+TEST(MemoQuarantine, UnknownValueStillBlacklisted)
+{
+    core::MemoTable t;
+    t.insertGroup(100);
+    EXPECT_FALSE(t.quarantineValue(500)); // nothing to drop...
+    EXPECT_TRUE(t.isQuarantined(500));    // ...but refused from now on
+    EXPECT_EQ(t.lookupRead(103), core::MemoHit::GroupHit); // others live
+}
+
+TEST(MemoQuarantine, EngineQuarantineAppliesRollbackRule)
+{
+    // The security-register rollback rule: after a quarantine the
+    // candidate monitor must be re-armed from the post-quarantine table
+    // maximum, so a poisoned value cannot have ratcheted the threshold
+    // future promotions are measured against.
+    ctr::IntegrityTree tree(ctr::SchemeKind::Morphable, 1024);
+    core::RmccConfig cfg;
+    cfg.monitor.trigger_reads = 50;
+    cfg.budget.epoch_accesses = 1000;
+    cfg.budget.initial_pool_accesses = 1e6;
+    core::RmccEngine engine(cfg, tree);
+    engine.table(0).insertGroup(100);
+    engine.table(0).insertGroup(300);
+    EXPECT_EQ(engine.table(0).maxInTable(), 307u);
+    EXPECT_TRUE(engine.quarantineMemoValue(0, 305));
+    // The group holding the table max is gone; the surviving group
+    // defines the new (lower) maximum the monitor re-armed around.
+    EXPECT_EQ(engine.table(0).maxInTable(), 107u);
+    EXPECT_FALSE(engine.quarantineMemoValue(7, 305)); // no such level
+}
+
+TEST(RecoveryStorm, PerModeInvariantsHold)
+{
+    using fault::StormConfig;
+    using fault::StormPlan;
+    using fault::StormStats;
+    for (const RecoveryMode mode :
+         {RecoveryMode::Off, RecoveryMode::Retry, RecoveryMode::Full}) {
+        StormPlan plan;
+        plan.rate = 0.01;
+        plan.ops = 6000;
+        plan.seed = 0xbeef;
+        StormConfig cfg;
+        cfg.seed = 3;
+        cfg.recovery.mode = mode;
+        const StormStats s = fault::runRecoveryStorm(plan, cfg);
+        const RecoveryStats &r = s.recovery;
+        SCOPED_TRACE(recoveryModeName(mode));
+
+        // The detection contract survives every policy: no fault is
+        // ever served as good data without a verdict.
+        EXPECT_GT(s.faults.injected, 0u);
+        EXPECT_EQ(s.faults.silent(), 0u);
+        EXPECT_EQ(s.faults.unexpected_failures, 0u);
+
+        if (mode == RecoveryMode::Off) {
+            EXPECT_EQ(r.detections, 0u); // policy inactive: not consulted
+            EXPECT_EQ(r.recovered(), 0u);
+            continue;
+        }
+        // Active policy: the controller saw exactly what the oracle
+        // classified, and every detection was healed or refused.
+        EXPECT_EQ(r.detections, s.faults.detected());
+        EXPECT_EQ(r.recovered() + r.unrecoverable, r.detections);
+        EXPECT_GT(r.recovered_refetch, 0u); // transients heal in stage 1
+        EXPECT_GE(r.mttrReads(), 1.0);
+        if (mode == RecoveryMode::Retry) {
+            EXPECT_EQ(r.recovered_reconstruct, 0u);
+            EXPECT_EQ(r.values_quarantined, 0u);
+            EXPECT_EQ(r.degraded_entries, 0u);
+        } else {
+            EXPECT_GT(r.recovered_reconstruct, 0u);
+        }
+    }
+}
+
+TEST(RecoveryStorm, ArmedIdlePolicyIsFreeOnCleanTraffic)
+{
+    // RMCC_RECOVERY=full on a fault-free cell must not change a single
+    // stat: recovery only acts after a detection, and there are none.
+    const auto *w = wl::findWorkload("omnetpp");
+    std::vector<sim::NamedConfig> configs = {
+        sim::rmccConfig(sim::SimMode::Timing)};
+    configs[0].cfg.trace_records = 5000;
+    configs[0].cfg.warmup_records = 2500;
+
+    unsetenv("RMCC_RECOVERY");
+    const sim::SuiteRow off = sim::runWorkload(*w, configs);
+    setenv("RMCC_RECOVERY", "full", 1);
+    const sim::SuiteRow armed = sim::runWorkload(*w, configs);
+    unsetenv("RMCC_RECOVERY");
+
+    ASSERT_TRUE(off.allOk());
+    ASSERT_TRUE(armed.allOk());
+    EXPECT_EQ(armed.results[0].instructions, off.results[0].instructions);
+    EXPECT_EQ(armed.results[0].elapsed_ns, off.results[0].elapsed_ns);
+    EXPECT_EQ(armed.results[0].stats.all(), off.results[0].stats.all());
+}
+
+// --- crash-safe suite journal ---------------------------------------------
+
+namespace
+{
+
+std::vector<sim::NamedConfig>
+journalConfigs()
+{
+    std::vector<sim::NamedConfig> configs = {
+        sim::nonSecureConfig(sim::SimMode::Timing),
+        sim::rmccConfig(sim::SimMode::Timing),
+    };
+    for (auto &nc : configs) {
+        nc.cfg.trace_records = 5000;
+        nc.cfg.warmup_records = 2500;
+    }
+    return configs;
+}
+
+/** RAII installer for the per-cell fault hook (always restores empty). */
+struct HookGuard
+{
+    explicit HookGuard(
+        std::function<void(const std::string &, const std::string &)> h)
+    {
+        sim::detail::cell_fault_hook = std::move(h);
+    }
+    ~HookGuard() { sim::detail::cell_fault_hook = nullptr; }
+};
+
+} // namespace
+
+TEST(SuiteJournal, RoundTripIsBitExact)
+{
+    const std::string path =
+        testing::TempDir() + "rmcc_journal_roundtrip";
+    std::remove(path.c_str());
+    const std::vector<sim::NamedConfig> configs = journalConfigs();
+
+    auto j = sim::SuiteJournal::openAt(path, configs, false);
+    ASSERT_NE(j, nullptr);
+
+    sim::SimResult r;
+    r.workload = "omnetpp";
+    r.config_label = "RMCC";
+    r.instructions = 123456789;
+    r.elapsed_ns = 0.1 + 0.2; // not exactly representable: bits matter
+    r.stats.set("lat.read sum ns", 1.0 / 3.0); // space survives escaping
+    r.stats.set("memo.hits%odd", 42.0);
+    sim::CellStatus ok;
+    ok.state = sim::CellState::Ok;
+    ok.attempts = 2;
+    ok.elapsed_ms = 17.25;
+    j->record("omnetpp", "RMCC", r, ok);
+
+    // Failed cells are never journaled: they must rerun on resume.
+    sim::CellStatus bad;
+    bad.state = sim::CellState::Failed;
+    j->record("omnetpp", "non-secure", r, bad);
+    EXPECT_EQ(j->size(), 1u);
+
+    auto resumed = sim::SuiteJournal::openAt(path, configs, true);
+    EXPECT_EQ(resumed->resumed(), 1u);
+    sim::SimResult out;
+    sim::CellStatus st;
+    EXPECT_FALSE(resumed->lookup("omnetpp", "non-secure", out, st));
+    ASSERT_TRUE(resumed->lookup("omnetpp", "RMCC", out, st));
+    EXPECT_EQ(out.instructions, 123456789u);
+    EXPECT_EQ(out.elapsed_ns, 0.1 + 0.2); // exact, not approximate
+    EXPECT_EQ(out.stats.get("lat.read sum ns"), 1.0 / 3.0);
+    EXPECT_EQ(out.stats.get("memo.hits%odd"), 42.0);
+    EXPECT_EQ(st.state, sim::CellState::Ok);
+    EXPECT_EQ(st.attempts, 2u);
+    EXPECT_EQ(st.elapsed_ms, 17.25);
+    std::remove(path.c_str());
+}
+
+TEST(SuiteJournal, ForeignOrCorruptManifestStartsFresh)
+{
+    const std::string path =
+        testing::TempDir() + "rmcc_journal_validate";
+    std::remove(path.c_str());
+    const std::vector<sim::NamedConfig> configs = journalConfigs();
+
+    auto j = sim::SuiteJournal::openAt(path, configs, false);
+    sim::SimResult r;
+    r.instructions = 7;
+    sim::CellStatus ok;
+    ok.state = sim::CellState::Ok;
+    j->record("omnetpp", "RMCC", r, ok);
+
+    // Same file, different experiment: config labels changed.
+    std::vector<sim::NamedConfig> other = configs;
+    other[1].label = "RMCC-variant";
+    EXPECT_EQ(sim::SuiteJournal::openAt(path, other, true)->resumed(), 0u);
+
+    // Different trace shape: seed mismatch.
+    std::vector<sim::NamedConfig> reseeded = journalConfigs();
+    for (auto &nc : reseeded)
+        nc.cfg.seed += 1;
+    EXPECT_EQ(sim::SuiteJournal::openAt(path, reseeded, true)->resumed(),
+              0u);
+
+    // Flip one body byte: the checksum must reject the whole manifest.
+    {
+        std::ifstream in(path);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        text[text.size() - 2] ^= 1;
+        std::ofstream out(path, std::ios::trunc);
+        out << text;
+    }
+    EXPECT_EQ(sim::SuiteJournal::openAt(path, configs, true)->resumed(),
+              0u);
+
+    // The pristine manifest still resumes.
+    j->record("omnetpp", "RMCC", r, ok); // rewrite a valid file
+    EXPECT_EQ(sim::SuiteJournal::openAt(path, configs, true)->resumed(),
+              1u);
+    std::remove(path.c_str());
+}
+
+TEST(SuiteJournal, OpenFromEnvRequiresPath)
+{
+    unsetenv("RMCC_SUITE_JOURNAL");
+    EXPECT_EQ(sim::SuiteJournal::openFromEnv(journalConfigs()), nullptr);
+}
+
+TEST(SuiteJournal, ShutdownLatchRoundTrip)
+{
+    sim::resetShutdownForTest();
+    EXPECT_FALSE(sim::shutdownRequested());
+    sim::requestShutdown(15);
+    EXPECT_TRUE(sim::shutdownRequested());
+    EXPECT_EQ(sim::shutdownSignal(), 15);
+    EXPECT_TRUE(sim::shutdownFlag()->load());
+    sim::resetShutdownForTest();
+    EXPECT_FALSE(sim::shutdownRequested());
+}
+
+TEST(SuiteJournal, SuiteResumeServesJournaledCellsWithoutRerunning)
+{
+    // End to end: run the suite once with a journal, then resume with a
+    // poisoned cell hook.  Every cell must come back Ok and bit-identical
+    // *without executing* — if any cell reran, the hook would fail it.
+    const std::string base = testing::TempDir() + "rmcc_suite_journal";
+    std::remove(base.c_str());
+    std::remove((base + ".1").c_str());
+    const std::vector<sim::NamedConfig> configs = journalConfigs();
+
+    setenv("RMCC_SUITE_JOURNAL", base.c_str(), 1);
+    setenv("RMCC_JOBS", "1", 1);
+    const std::vector<sim::SuiteRow> first = sim::runSuite(configs);
+    for (const sim::SuiteRow &row : first)
+        ASSERT_TRUE(row.allOk()) << row.workload;
+
+    // Each runSuite() invocation in one process journals to a fresh
+    // suffix (base, base.1, ...); stage the manifest where the resumed
+    // invocation will look, as a rerun of the same bench binary would.
+    {
+        std::ifstream in(base, std::ios::binary);
+        ASSERT_TRUE(in.good()) << "journal was not written";
+        std::ofstream out(base + ".1", std::ios::binary);
+        out << in.rdbuf();
+    }
+
+    setenv("RMCC_SUITE_RESUME", "1", 1);
+    HookGuard guard([](const std::string &, const std::string &) {
+        throw std::runtime_error("cell executed despite journal");
+    });
+    const std::vector<sim::SuiteRow> second = sim::runSuite(configs);
+    unsetenv("RMCC_SUITE_RESUME");
+    unsetenv("RMCC_SUITE_JOURNAL");
+    unsetenv("RMCC_JOBS");
+
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t w = 0; w < first.size(); ++w) {
+        EXPECT_EQ(second[w].workload, first[w].workload);
+        ASSERT_TRUE(second[w].allOk()) << second[w].workload
+                                       << " reran instead of resuming";
+        ASSERT_EQ(second[w].results.size(), first[w].results.size());
+        for (std::size_t c = 0; c < first[w].results.size(); ++c) {
+            const sim::SimResult &a = first[w].results[c];
+            const sim::SimResult &b = second[w].results[c];
+            EXPECT_EQ(b.instructions, a.instructions);
+            EXPECT_EQ(b.elapsed_ns, a.elapsed_ns);
+            EXPECT_EQ(b.stats.all(), a.stats.all())
+                << first[w].workload << " / " << a.config_label;
+        }
+    }
+    std::remove(base.c_str());
+    std::remove((base + ".1").c_str());
+}
