@@ -4,13 +4,24 @@
  * workload trace and replays it through the timing simulator, reporting
  * host-side throughput (trace records/sec and simulated MC blocks/sec),
  * the crypto-kernel rates under the active dispatch and the forced
- * software path, and the observability overhead (replay rate with
- * RMCC_OBS unset vs off vs epochs vs full).  Results are written as
- * machine-readable JSON (BENCH_6.json by default) for the CI perf-smoke
- * job, which fails if RMCC_OBS=off costs more than 2% over the no-obs
- * baseline, if the batched hardware crypto path fails to engage on an
- * AES-NI runner, or if the batched/SIMD replay path regresses against
- * the in-process legacy (batch off, scalar probes) rate.
+ * software path, the observability overhead (replay rate with RMCC_OBS
+ * unset vs off vs epochs vs full), and the out-of-core trace engine
+ * (spilled windowed-mmap replay vs the in-RAM buffer, with peak RSS).
+ * Results are written as machine-readable JSON (BENCH_8.json by
+ * default) for the CI perf-smoke job, which fails if RMCC_OBS=off costs
+ * more than 2% over the no-obs baseline, if the batched hardware crypto
+ * path fails to engage on an AES-NI runner, if the batched/SIMD replay
+ * path regresses against the in-process legacy (batch off, scalar
+ * probes) rate, or if the spilled replay drops below 0.9x in-RAM.
+ *
+ * Every A/B gate uses the same median-of-medians protocol: the two
+ * modes run as back-to-back pairs with alternating order, one discarded
+ * warmup run per mode before the pairs, each side of a pair is the
+ * median of three replays, and the median per-pair ratio wins.  Earlier
+ * revisions used best-of-two per side, which let one lucky scheduler
+ * slot on either side swing the ratio past the gate in both directions
+ * (BENCH_6 once reported the legacy path *faster* and a -5.9% obs
+ * overhead on the same run).
  *
  * Knobs (environment):
  *   RMCC_BENCH_RECORDS  trace length (default 1000000)
@@ -24,8 +35,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "cache/set_assoc.hpp"
 #include "crypto/dispatch.hpp"
@@ -33,6 +47,8 @@
 #include "obs/registry.hpp"
 #include "sim/experiments.hpp"
 #include "sim/timing_sim.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/trace_source.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
 #include "workloads/registry.hpp"
@@ -152,28 +168,72 @@ forceBatch(const char *batch)
     crypto::reresolveCryptoDispatch();
 }
 
+/** One timed replay; returns host records/sec. */
+double
+replayOnce(const std::string &name, const trace::TraceSource &trace,
+           const sim::SystemConfig &cfg,
+           double *mc_blocks_per_run = nullptr)
+{
+    const auto t0 = Clock::now();
+    const sim::SimResult r = sim::runTiming(name, trace, cfg);
+    const double s = secondsSince(t0);
+    if (mc_blocks_per_run)
+        *mc_blocks_per_run =
+            r.stats.get("mc.reads") + r.stats.get("mc.writes");
+    return static_cast<double>(trace.size()) / s;
+}
+
+double
+medianOf(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
 /**
- * Best-of-reps replay throughput (records/sec) under the current
- * environment.  Best-of (not mean) so one scheduler hiccup cannot turn
- * the off-vs-baseline comparison into noise.
+ * Median-of-reps replay throughput (records/sec) under the current
+ * environment.  Median (not best or mean) so one scheduler hiccup in
+ * either direction cannot swing a mode comparison.
  */
 double
 replayRecordsPerSec(const std::string &name,
-                    const trace::TraceBuffer &trace,
+                    const trace::TraceSource &trace,
                     const sim::SystemConfig &cfg, int reps,
                     double *mc_blocks_per_run = nullptr)
 {
-    double best = 0.0;
-    for (int i = 0; i < reps; ++i) {
-        const auto t0 = Clock::now();
-        const sim::SimResult r = sim::runTiming(name, trace, cfg);
-        const double s = secondsSince(t0);
-        best = std::max(best, static_cast<double>(trace.size()) / s);
-        if (mc_blocks_per_run)
-            *mc_blocks_per_run =
-                r.stats.get("mc.reads") + r.stats.get("mc.writes");
+    std::vector<double> rates;
+    rates.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i)
+        rates.push_back(replayOnce(name, trace, cfg, mc_blocks_per_run));
+    return medianOf(rates);
+}
+
+/**
+ * Median per-pair throughput ratio measure_b()/measure_a() over `pairs`
+ * back-to-back comparisons.  Each measure callback switches its own
+ * mode and returns a median-of-N rate; one run per mode is discarded up
+ * front as warmup, and the in-pair order alternates so host-side drift
+ * cancels instead of biasing whichever mode happens to run later.
+ */
+double
+pairedRatio(const std::function<double()> &measure_a,
+            const std::function<double()> &measure_b, int pairs)
+{
+    measure_a(); // warmup both modes; results discarded
+    measure_b();
+    std::vector<double> ratios;
+    for (int i = 0; i < pairs; ++i) {
+        double a, b;
+        if (i % 2 == 0) {
+            a = measure_a();
+            b = measure_b();
+        } else {
+            b = measure_b();
+            a = measure_a();
+        }
+        ratios.push_back(b / a);
     }
-    return best;
+    return medianOf(ratios);
 }
 
 /** Point the obs subsystem at `mode` (or unset) for the next replays. */
@@ -195,7 +255,7 @@ setObsMode(const char *mode, const std::string &dir)
 int
 main(int argc, char **argv)
 {
-    const std::string out_path = argc > 1 ? argv[1] : "BENCH_6.json";
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_8.json";
     const auto records = static_cast<std::size_t>(
         util::envUnsignedOr("RMCC_BENCH_RECORDS", 1000000));
     const int reps =
@@ -223,10 +283,7 @@ main(int argc, char **argv)
     // --- Legacy replay path: pipelined crypto kernels and the AVX2 way
     // scan forced off, measured in the same process so the CI regression
     // gate compares batched-vs-scalar on identical hardware instead of
-    // against a runner-dependent absolute number.  Like the obs gate
-    // below, the two modes run as back-to-back pairs with alternating
-    // order and the median per-pair ratio wins, so host-side drift
-    // between the two measurements cannot fake (or mask) a regression.
+    // against a runner-dependent absolute number.
     const char *orig_batch = std::getenv("RMCC_CRYPTO_BATCH");
     const std::string orig_batch_value = orig_batch ? orig_batch : "";
     const auto setLegacyPath = [&](bool legacy) {
@@ -239,55 +296,38 @@ main(int argc, char **argv)
                 crypto::detectCpuFeatures().avx2);
         }
     };
-    std::vector<double> legacy_ratios;
-    for (int i = 0; i < std::max(reps, 5); ++i) {
-        double fast, legacy;
-        if (i % 2 == 0) {
+    const int pairs = std::max(reps, 7);
+    const double legacy_ratio = pairedRatio(
+        [&] {
             setLegacyPath(false);
-            fast = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
+            return replayRecordsPerSec(w.name, trace, nc.cfg, 3);
+        },
+        [&] {
             setLegacyPath(true);
-            legacy = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
-        } else {
-            setLegacyPath(true);
-            legacy = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
-            setLegacyPath(false);
-            fast = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
-        }
-        legacy_ratios.push_back(legacy / fast);
-    }
+            return replayRecordsPerSec(w.name, trace, nc.cfg, 3);
+        },
+        pairs);
     setLegacyPath(false);
-    std::sort(legacy_ratios.begin(), legacy_ratios.end());
-    const double rps_legacy =
-        rps_baseline * legacy_ratios[legacy_ratios.size() / 2];
+    const double rps_legacy = rps_baseline * legacy_ratio;
 
     // --- Observability overhead: off must be within noise of baseline;
-    // epochs/full show the cost of sampling and tracing.  The
-    // baseline/off comparison runs as back-to-back pairs (order
-    // alternating pair to pair) and reports the median per-pair ratio, so
-    // host-side drift and outlier reps cancel instead of biasing
-    // whichever mode happened to run later.
+    // epochs/full show the cost of sampling and tracing.
     const std::string obs_dir = "rmcc-obs-bench";
     double rps_base_i = 0.0, rps_off = 0.0;
-    std::vector<double> pair_ratios;
-    for (int i = 0; i < std::max(reps, 5); ++i) {
-        double base, off;
-        if (i % 2 == 0) {
+    const double median_ratio = pairedRatio(
+        [&] {
             setObsMode(nullptr, "");
-            base = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
+            const double r = replayRecordsPerSec(w.name, trace, nc.cfg, 3);
+            rps_base_i = std::max(rps_base_i, r);
+            return r;
+        },
+        [&] {
             setObsMode("off", obs_dir);
-            off = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
-        } else {
-            setObsMode("off", obs_dir);
-            off = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
-            setObsMode(nullptr, "");
-            base = replayRecordsPerSec(w.name, trace, nc.cfg, 2);
-        }
-        rps_base_i = std::max(rps_base_i, base);
-        rps_off = std::max(rps_off, off);
-        pair_ratios.push_back(off / base);
-    }
-    std::sort(pair_ratios.begin(), pair_ratios.end());
-    const double median_ratio = pair_ratios[pair_ratios.size() / 2];
+            const double r = replayRecordsPerSec(w.name, trace, nc.cfg, 3);
+            rps_off = std::max(rps_off, r);
+            return r;
+        },
+        pairs);
     setObsMode("epochs", obs_dir);
     const double rps_epochs =
         replayRecordsPerSec(w.name, trace, nc.cfg, reps);
@@ -298,6 +338,42 @@ main(int argc, char **argv)
     std::error_code ec;
     std::filesystem::remove_all(obs_dir, ec);
     const double off_overhead_pct = (1.0 - median_ratio) * 100.0;
+
+    // --- Out-of-core trace engine: the same workload regenerated with
+    // RMCC_TRACE_SPILL=on and replayed from the windowed mmap reader,
+    // compared pairwise against the in-RAM buffer.  Peak RSS comes from
+    // getrusage so runs of the JSON can track the spilled high-water
+    // mark (the dedicated large-trace CI job asserts the hard bound).
+    const std::string spill_dir = "rmcc-trace-bench";
+    setenv("RMCC_TRACE_SPILL", "on", 1);
+    setenv("RMCC_TRACE_DIR", spill_dir.c_str(), 1);
+    const wl::TraceHandle spilled =
+        wl::generateTraceHandle(w, nc.cfg.trace_records, nc.cfg.seed);
+    unsetenv("RMCC_TRACE_SPILL");
+    unsetenv("RMCC_TRACE_DIR");
+    const std::uint64_t window_records =
+        trace::spillConfigFromEnv().window_records;
+    double rps_spilled = 0.0;
+    const double spill_ratio = pairedRatio(
+        [&] { return replayRecordsPerSec(w.name, trace, nc.cfg, 3); },
+        [&] {
+            const double r = replayRecordsPerSec(
+                w.name, spilled.source(), nc.cfg, 3);
+            rps_spilled = std::max(rps_spilled, r);
+            return r;
+        },
+        std::max(reps, 5));
+    long long trace_file_bytes = 0;
+    if (spilled.spilled()) {
+        std::error_code fec;
+        const auto sz = std::filesystem::file_size(spilled.path(), fec);
+        if (!fec)
+            trace_file_bytes = static_cast<long long>(sz);
+    }
+    struct rusage ru = {};
+    getrusage(RUSAGE_SELF, &ru);
+    const long peak_rss_kib = ru.ru_maxrss;
+    std::filesystem::remove_all(spill_dir, ec);
 
     // --- Crypto kernels: active dispatch, then forced software.
     const crypto::CpuFeatures cpu = crypto::detectCpuFeatures();
@@ -330,6 +406,11 @@ main(int argc, char **argv)
     std::printf("obs:    off %.0f rec/s (%+.2f%% vs baseline), "
                 "epochs %.0f rec/s, full %.0f rec/s\n",
                 rps_off, -off_overhead_pct, rps_epochs, rps_full);
+    std::printf("spill:  %.0f rec/s (%.3fx in-RAM), window %llu records, "
+                "file %lld bytes, peak rss %ld KiB\n",
+                rps_spilled, spill_ratio,
+                static_cast<unsigned long long>(window_records),
+                trace_file_bytes, peak_rss_kib);
     std::printf("crypto: aes128 %.2fM blk/s (active%s), %.2fM blk/s (sw); "
                 "clmul128 %.2fM op/s (active), %.2fM op/s (sw)\n",
                 aes_active / 1e6, hw_aes ? ", hw" : ", sw",
@@ -384,6 +465,14 @@ main(int argc, char **argv)
                  "    \"aes128_blocks_per_sec_batch\": %.1f,\n"
                  "    \"clmul128_ops_per_sec_batch\": %.1f\n"
                  "  },\n"
+                 "  \"spill\": {\n"
+                 "    \"spilled\": %s,\n"
+                 "    \"window_records\": %llu,\n"
+                 "    \"records_per_sec_spilled\": %.1f,\n"
+                 "    \"spilled_vs_inram_ratio\": %.4f,\n"
+                 "    \"trace_file_bytes\": %lld,\n"
+                 "    \"peak_rss_kib\": %ld\n"
+                 "  },\n"
                  "  \"suite_wall_clock_sec\": %.6f\n"
                  "}\n",
                  w.name.c_str(), trace.size(), reps, rps_baseline,
@@ -398,7 +487,11 @@ main(int argc, char **argv)
                  batch_clmul ? "true" : "false",
                  cache::SetAssocCache::simdProbesActive() ? "true"
                                                           : "false",
-                 aes_batch, clmul_batch, total_sec);
+                 aes_batch, clmul_batch,
+                 spilled.spilled() ? "true" : "false",
+                 static_cast<unsigned long long>(window_records),
+                 rps_spilled, spill_ratio, trace_file_bytes,
+                 peak_rss_kib, total_sec);
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;

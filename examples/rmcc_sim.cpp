@@ -56,6 +56,15 @@ usage()
         "  RMCC_CRYPTO_BATCH=auto|on|off  multi-block crypto pipelining\n"
         "    (default auto: batch when the hw kernels are active; on\n"
         "    throws unless they are; results are identical either way)\n"
+        "  RMCC_TRACE_SPILL=off|auto|on  out-of-core traces (default off):\n"
+        "    on streams every trace to a checksummed file and replays it\n"
+        "    through windowed mmap (bounded RSS, bit-identical results);\n"
+        "    auto spills only traces >= RMCC_TRACE_SPILL_THRESHOLD\n"
+        "    (default 8388608 records)\n"
+        "  RMCC_TRACE_DIR=PATH         spill/cache dir (default\n"
+        "    /tmp/rmcc_traces); files are keyed by workload fingerprint\n"
+        "    and reused across runs when they validate\n"
+        "  RMCC_TRACE_WINDOW_RECORDS=N replay window (default 1048576)\n"
         "  RMCC_LOG_LEVEL=debug|info|warn|error|silent  (default info)");
 }
 
@@ -148,9 +157,9 @@ main(int argc, char **argv)
                              (cfg.rmcc ? "+RMCC" : "");
 
     auto run_one = [&](const wl::Workload &w) {
-        const auto trace =
-            wl::generateTrace(w, cfg.trace_records, cfg.seed);
-        const SimResult r = runOne(w.name, trace, nc);
+        const wl::TraceHandle trace =
+            wl::generateTraceHandle(w, cfg.trace_records, cfg.seed);
+        const SimResult r = runOne(w.name, trace.source(), nc);
         std::printf("%-14s [%s]", w.name.c_str(), nc.label.c_str());
         if (cfg.mode == SimMode::Timing)
             std::printf("  perf %.4f inst/ns", r.perf());

@@ -1,9 +1,15 @@
 #include "counters/morphable.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
+#include "crypto/dispatch.hpp"
 #include "util/log.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
 
 namespace rmcc::ctr
 {
@@ -75,7 +81,157 @@ constexpr std::size_t kMajorBits = 56;
 constexpr std::size_t kFormatBits = 8;
 constexpr std::size_t kPayloadBase = kMajorBits + kFormatBits;
 
+// ---------------------------------------------------------------------------
+// Block-scan kernels.  Every encodability decision reduces to two scans
+// over a block's contiguous logical values: a summary (max offset above
+// the major, non-zero count, >=8 count — exactly the facts the format
+// predicates test) and a min/max.  The AVX2 variants process four
+// counters per vector; counter values sit far below 2^63, so signed
+// 64-bit compares agree with the unsigned scalar ones.  Same gating
+// discipline as the cache way scans: CPUID-seeded process-wide toggle,
+// scalar kernels kept as the oracle (cross-checked in tests).
+// ---------------------------------------------------------------------------
+
+//! -1 unresolved, else 0/1; atomic so suite-runner threads race benignly.
+std::atomic<int> g_simd_scan{-1};
+
+/** Accumulate (max_off, nonzero, ge8) over values[0..n) minus major. */
+void
+summarizeSpanScalar(const addr::CounterValue *values, std::size_t n,
+                    addr::CounterValue major, std::uint64_t &max_off,
+                    unsigned &nonzero, unsigned &ge8)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t off = values[i] - major;
+        max_off = std::max(max_off, off);
+        nonzero += off != 0;
+        ge8 += off >= 8;
+    }
+}
+
+/** Fold values[0..n) into the running [lo, hi] envelope. */
+void
+minmaxSpanScalar(const addr::CounterValue *values, std::size_t n,
+                 addr::CounterValue &lo, addr::CounterValue &hi)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        lo = std::min(lo, values[i]);
+        hi = std::max(hi, values[i]);
+    }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("avx2"))) void
+summarizeSpanAvx2(const addr::CounterValue *values, std::size_t n,
+                  addr::CounterValue major, std::uint64_t &max_off,
+                  unsigned &nonzero, unsigned &ge8)
+{
+    const __m256i maj =
+        _mm256_set1_epi64x(static_cast<long long>(major));
+    const __m256i seven = _mm256_set1_epi64x(7);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i vmax = zero;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + i));
+        const __m256i off = _mm256_sub_epi64(x, maj);
+        const __m256i gt = _mm256_cmpgt_epi64(off, vmax);
+        vmax = _mm256_blendv_epi8(vmax, off, gt);
+        const int zmask = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(off, zero)));
+        nonzero += 4u - static_cast<unsigned>(
+                            __builtin_popcount(static_cast<unsigned>(
+                                zmask)));
+        const int gmask = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpgt_epi64(off, seven)));
+        ge8 += static_cast<unsigned>(
+            __builtin_popcount(static_cast<unsigned>(gmask)));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), vmax);
+    for (int k = 0; k < 4; ++k)
+        max_off = std::max(max_off, lanes[k]);
+    summarizeSpanScalar(values + i, n - i, major, max_off, nonzero, ge8);
+}
+
+__attribute__((target("avx2"))) void
+minmaxSpanAvx2(const addr::CounterValue *values, std::size_t n,
+               addr::CounterValue &lo, addr::CounterValue &hi)
+{
+    if (n < 4) {
+        minmaxSpanScalar(values, n, lo, hi);
+        return;
+    }
+    __m256i vlo = _mm256_set1_epi64x(static_cast<long long>(lo));
+    __m256i vhi = _mm256_set1_epi64x(static_cast<long long>(hi));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + i));
+        vlo = _mm256_blendv_epi8(vlo, x, _mm256_cmpgt_epi64(vlo, x));
+        vhi = _mm256_blendv_epi8(vhi, x, _mm256_cmpgt_epi64(x, vhi));
+    }
+    alignas(32) std::uint64_t los[4], his[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(los), vlo);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(his), vhi);
+    for (int k = 0; k < 4; ++k) {
+        lo = std::min(lo, los[k]);
+        hi = std::max(hi, his[k]);
+    }
+    minmaxSpanScalar(values + i, n - i, lo, hi);
+}
+
+#endif // x86
+
+/** Dispatching summarize: AVX2 when enabled, scalar oracle otherwise. */
+void
+summarizeSpan(const addr::CounterValue *values, std::size_t n,
+              addr::CounterValue major, std::uint64_t &max_off,
+              unsigned &nonzero, unsigned &ge8)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (MorphableScheme::simdScanActive()) {
+        summarizeSpanAvx2(values, n, major, max_off, nonzero, ge8);
+        return;
+    }
+#endif
+    summarizeSpanScalar(values, n, major, max_off, nonzero, ge8);
+}
+
+/** Dispatching min/max envelope fold. */
+void
+minmaxSpan(const addr::CounterValue *values, std::size_t n,
+           addr::CounterValue &lo, addr::CounterValue &hi)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    if (MorphableScheme::simdScanActive()) {
+        minmaxSpanAvx2(values, n, lo, hi);
+        return;
+    }
+#endif
+    minmaxSpanScalar(values, n, lo, hi);
+}
+
 } // namespace
+
+void
+MorphableScheme::setSimdScan(bool on)
+{
+    g_simd_scan.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool
+MorphableScheme::simdScanActive()
+{
+    int v = g_simd_scan.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = crypto::detectCpuFeatures().avx2 ? 1 : 0;
+        g_simd_scan.store(v, std::memory_order_relaxed);
+    }
+    return v == 1;
+}
 
 std::optional<MorphFormat>
 MorphableScheme::chooseFormat(const std::uint64_t *offsets, std::size_t n)
@@ -115,14 +271,14 @@ void
 MorphableScheme::refreshSummary(addr::CounterBlockId cb)
 {
     const auto [first, last] = blockRange(cb);
-    const addr::CounterValue major = majors_[cb];
+    std::uint64_t max_off = 0;
+    unsigned nonzero = 0, ge8 = 0;
+    summarizeSpan(store_.data() + first, last - first, majors_[cb],
+                  max_off, nonzero, ge8);
     BlockSummary s;
-    for (std::uint64_t i = first; i < last; ++i) {
-        const std::uint64_t off = store_.get(i) - major;
-        s.max_off = std::max(s.max_off, off);
-        s.nonzero += off != 0;
-        s.ge8 += off >= 8;
-    }
+    s.max_off = max_off;
+    s.nonzero = static_cast<std::uint16_t>(nonzero);
+    s.ge8 = static_cast<std::uint16_t>(ge8);
     summaries_[cb] = s;
 }
 
@@ -139,16 +295,6 @@ MorphableScheme::blockRange(addr::CounterBlockId cb) const
 {
     const std::uint64_t first = cb * kCoverage;
     return {first, std::min(first + kCoverage, store_.size())};
-}
-
-std::size_t
-MorphableScheme::loadOffsets(addr::CounterBlockId cb, OffsetBuf &buf) const
-{
-    const auto [first, last] = blockRange(cb);
-    const addr::CounterValue major = majors_[cb];
-    for (std::uint64_t i = first; i < last; ++i)
-        buf[i - first] = store_.get(i) - major;
-    return last - first;
 }
 
 std::vector<std::uint64_t>
@@ -194,10 +340,24 @@ MorphableScheme::encodable(std::uint64_t idx,
             if (formatFromSummary(s).has_value())
                 return true;
         } else {
-            OffsetBuf offsets;
-            const std::size_t n = loadOffsets(cb, offsets);
-            offsets[idx - cb * kCoverage] = new_value - major;
-            if (chooseFormat(offsets.data(), n).has_value())
+            // Decreasing candidate: summarize everyone else and merge
+            // the changed offset — equivalent to re-deriving the offsets
+            // and running the format predicates over them (they only
+            // consult the summary facts).
+            const auto [first, last] = blockRange(cb);
+            const addr::CounterValue *base = store_.data();
+            const std::uint64_t new_off = new_value - major;
+            std::uint64_t max_off = new_off;
+            unsigned nonzero = new_off != 0, ge8 = new_off >= 8;
+            summarizeSpan(base + first, idx - first, major, max_off,
+                          nonzero, ge8);
+            summarizeSpan(base + idx + 1, last - idx - 1, major, max_off,
+                          nonzero, ge8);
+            BlockSummary s;
+            s.max_off = max_off;
+            s.nonzero = static_cast<std::uint16_t>(nonzero);
+            s.ge8 = static_cast<std::uint16_t>(ge8);
+            if (formatFromSummary(s).has_value())
                 return true;
         }
     }
@@ -211,15 +371,25 @@ MorphableScheme::shiftedFormat(addr::CounterBlockId cb, std::uint64_t idx,
                                addr::CounterValue new_value) const
 {
     const auto [first, last] = blockRange(cb);
-    addr::CounterValue vmin = new_value;
-    for (std::uint64_t i = first; i < last; ++i)
-        if (i != idx)
-            vmin = std::min(vmin, store_.get(i));
-    OffsetBuf offsets;
-    for (std::uint64_t i = first; i < last; ++i)
-        offsets[i - first] =
-            (i == idx ? new_value : store_.get(i)) - vmin;
-    return chooseFormat(offsets.data(), last - first);
+    const addr::CounterValue *base = store_.data();
+    // Candidate major = min over the block with idx set to new_value,
+    // found by folding the two spans around idx.
+    addr::CounterValue vmin = new_value, hi_unused = new_value;
+    minmaxSpan(base + first, idx - first, vmin, hi_unused);
+    minmaxSpan(base + idx + 1, last - idx - 1, vmin, hi_unused);
+    // Summary of the shifted offsets (idx replaced by new_value); the
+    // format predicates need nothing more.
+    const std::uint64_t new_off = new_value - vmin;
+    std::uint64_t max_off = new_off;
+    unsigned nonzero = new_off != 0, ge8 = new_off >= 8;
+    summarizeSpan(base + first, idx - first, vmin, max_off, nonzero, ge8);
+    summarizeSpan(base + idx + 1, last - idx - 1, vmin, max_off, nonzero,
+                  ge8);
+    BlockSummary s;
+    s.max_off = max_off;
+    s.nonzero = static_cast<std::uint16_t>(nonzero);
+    s.ge8 = static_cast<std::uint16_t>(ge8);
+    return formatFromSummary(s);
 }
 
 WriteResult
@@ -255,8 +425,8 @@ MorphableScheme::write(std::uint64_t idx, addr::CounterValue new_value)
         store_.set(idx, new_value);
         const auto [first, last] = blockRange(cb);
         addr::CounterValue vmin = store_.get(first);
-        for (std::uint64_t i = first; i < last; ++i)
-            vmin = std::min(vmin, store_.get(i));
+        addr::CounterValue hi_unused = vmin;
+        minmaxSpan(store_.data() + first, last - first, vmin, hi_unused);
         majors_[cb] = vmin;
         formats_[cb] = *fmt;
         ++morphs_;
@@ -266,9 +436,8 @@ MorphableScheme::write(std::uint64_t idx, addr::CounterValue new_value)
     // Rebase: relevel every value to the block maximum; all covered
     // entities must be re-encrypted with the new shared value.
     const auto [first, last] = blockRange(cb);
-    addr::CounterValue vmax = new_value;
-    for (std::uint64_t i = first; i < last; ++i)
-        vmax = std::max(vmax, store_.get(i));
+    addr::CounterValue vmax = new_value, lo_unused = new_value;
+    minmaxSpan(store_.data() + first, last - first, lo_unused, vmax);
     majors_[cb] = vmax;
     for (std::uint64_t i = first; i < last; ++i)
         store_.set(i, vmax);
@@ -302,13 +471,9 @@ MorphableScheme::cheaplyEncodable(std::uint64_t idx,
         return vmax - vmin < 8;
     }
     addr::CounterValue vmin = v, vmax = v;
-    for (std::uint64_t i = first; i < last; ++i) {
-        if (i == idx)
-            continue;
-        const addr::CounterValue x = store_.get(i);
-        vmin = std::min(vmin, x);
-        vmax = std::max(vmax, x);
-    }
+    const addr::CounterValue *base = store_.data();
+    minmaxSpan(base + first, idx - first, vmin, vmax);
+    minmaxSpan(base + idx + 1, last - idx - 1, vmin, vmax);
     return vmax - vmin < 8;
 }
 

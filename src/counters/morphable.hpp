@@ -127,6 +127,16 @@ class MorphableScheme : public CounterScheme
     static std::optional<MorphFormat>
     chooseFormat(const std::vector<std::uint64_t> &offsets);
 
+    /**
+     * Force the AVX2 block-scan kernels on/off (tests cross-check the
+     * vector kernels against the scalar oracle).  Process-wide, like
+     * cache::SetAssocCache::setSimdProbes.
+     */
+    static void setSimdScan(bool on);
+
+    /** Are the AVX2 block scans active (CPUID-seeded by default)? */
+    static bool simdScanActive();
+
   private:
     /**
      * Per-block digest of the offset distribution — exactly the facts the
@@ -141,9 +151,6 @@ class MorphableScheme : public CounterScheme
         std::uint16_t ge8 = 0;     //!< Entities with offsets >= 8.
     };
 
-    /** Stack scratch for one block's offsets (write() must not allocate). */
-    using OffsetBuf = std::array<std::uint64_t, kCoverage>;
-
     /** First fitting format for a summarized offset set; O(1). */
     static std::optional<MorphFormat>
     formatFromSummary(const BlockSummary &s);
@@ -154,12 +161,6 @@ class MorphableScheme : public CounterScheme
     /** chooseFormat over a raw offsets array (allocation-free core). */
     static std::optional<MorphFormat>
     chooseFormat(const std::uint64_t *offsets, std::size_t n);
-
-    /**
-     * Fill buf with the offsets (value - major) of every entity in the
-     * block; returns how many entities the block covers.
-     */
-    std::size_t loadOffsets(addr::CounterBlockId cb, OffsetBuf &buf) const;
 
     /** Offsets (value - major) of every entity in a block. */
     std::vector<std::uint64_t> blockOffsets(addr::CounterBlockId cb) const;

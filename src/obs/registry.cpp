@@ -75,6 +75,7 @@ latencyHistName(LatencyHist h)
     case LatencyHist::Dram: return "dram_access_ns";
     case LatencyHist::MacVerify: return "mac_verify_ns";
     case LatencyHist::Recovery: return "recovery_ns";
+    case LatencyHist::TraceIo: return "trace_io_ns";
     case LatencyHist::kCount: break;
     }
     return "?";

@@ -74,6 +74,7 @@ enum class LatencyHist
     Dram,      //!< Single DRAM transfer: issue to burst end, ns.
     MacVerify, //!< MAC verification chain: request to verified, ns.
     Recovery,  //!< Fault recovery: detection to re-served (or given up), ns.
+    TraceIo,   //!< Spilled-trace window advance: host ns blocked in I/O.
     kCount,
 };
 

@@ -28,6 +28,21 @@ CpuModel::grow()
 }
 
 void
+CpuModel::refreshGates()
+{
+    if (count_ == 0) {
+        // Empty queue: advance()'s count_ check short-circuits first,
+        // so the gate values are never read; park them harmlessly.
+        gate_done_ns_ = 0.0;
+        gate_insts_ = 0;
+        return;
+    }
+    const Outstanding &oldest = ring_[head_];
+    gate_done_ns_ = oldest.done_ns;
+    gate_insts_ = oldest.inst_at_issue + cfg_.rob;
+}
+
+void
 CpuModel::enforceLimits()
 {
     // Window limit: an op older than (insts_ - rob) must have retired for
@@ -51,15 +66,7 @@ CpuModel::enforceLimits()
         ++ready;
     head_ = (head_ + ready) & mask_;
     count_ -= ready;
-}
-
-double
-CpuModel::advance(std::uint32_t inst_gap)
-{
-    insts_ += inst_gap + 1;
-    now_ns_ += static_cast<double>(inst_gap + 1) * ns_per_inst_;
-    enforceLimits();
-    return now_ns_;
+    refreshGates();
 }
 
 void
@@ -69,6 +76,8 @@ CpuModel::recordLongLatency(double done_ns)
         grow();
     ring_[(head_ + count_) & mask_] = {done_ns, insts_};
     ++count_;
+    if (count_ == 1)
+        refreshGates(); // the new op is the head and defines the gates
 }
 
 void

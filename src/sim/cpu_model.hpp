@@ -39,8 +39,26 @@ class CpuModel
     /**
      * Account for inst_gap non-memory instructions plus the memory
      * instruction itself, then return the memory op's issue time (ns).
+     *
+     * The retirement accounting is batched across the in-flight MSHR
+     * entries: the oldest outstanding op gates every possible state
+     * change (window pressure, MSHR pressure, and the FIFO ready-prefix
+     * drain all trigger at head), so advance() compares the clock and
+     * instruction count against two cached head gates and skips the
+     * drain scan entirely until one crosses.  Most records touch no
+     * entry at all; the full scan runs once per retirement batch, not
+     * once per record — with identical state transitions either way.
      */
-    double advance(std::uint32_t inst_gap);
+    double advance(std::uint32_t inst_gap)
+    {
+        insts_ += inst_gap + 1;
+        now_ns_ += static_cast<double>(inst_gap + 1) * ns_per_inst_;
+        if (count_ != 0 &&
+            (now_ns_ >= gate_done_ns_ || insts_ >= gate_insts_ ||
+             count_ >= cfg_.mshrs))
+            enforceLimits();
+        return now_ns_;
+    }
 
     /**
      * Register a long-latency operation (LLC hit or memory access) that
@@ -70,6 +88,9 @@ class CpuModel
     /** Apply window/MSHR limits at the current instruction count. */
     void enforceLimits();
 
+    /** Re-derive the head gates after head_ or count_ changed. */
+    void refreshGates();
+
     /** Double the ring capacity, re-linearizing from head_. */
     void grow();
 
@@ -85,6 +106,11 @@ class CpuModel
     std::size_t head_ = 0;
     std::size_t count_ = 0;
     std::size_t mask_ = 0; //!< capacity - 1 (capacity is a power of two).
+    //! Batched-retirement gates: nothing can retire before the clock
+    //! reaches the head op's completion (gate_done_ns_) or the
+    //! instruction count reaches head-issue + rob (gate_insts_).
+    double gate_done_ns_ = 0.0;
+    std::uint64_t gate_insts_ = 0;
 };
 
 } // namespace rmcc::sim

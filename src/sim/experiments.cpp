@@ -71,7 +71,7 @@ validateTraceShape(const std::vector<NamedConfig> &configs)
  */
 void
 runCellJournaled(SuiteJournal *journal, const std::string &workload,
-                 const trace::TraceBuffer *trace, const NamedConfig &nc,
+                 const trace::TraceSource *trace, const NamedConfig &nc,
                  const std::string &no_trace_error, SimResult &result,
                  CellStatus &status)
 {
@@ -112,7 +112,7 @@ suiteJobs()
 }
 
 SimResult
-runOne(const std::string &workload_name, const trace::TraceBuffer &trace,
+runOne(const std::string &workload_name, const trace::TraceSource &trace,
        const NamedConfig &nc)
 {
     SimResult r = nc.cfg.mode == SimMode::Timing
@@ -124,7 +124,7 @@ runOne(const std::string &workload_name, const trace::TraceBuffer &trace,
 
 std::pair<SimResult, CellStatus>
 runCellGuarded(const std::string &workload_name,
-               const trace::TraceBuffer &trace, const NamedConfig &nc)
+               const trace::TraceSource &trace, const NamedConfig &nc)
 {
     // Env policy is read outside the guard: a malformed variable is a
     // caller error and must fail loudly, not be recorded as a cell
@@ -220,13 +220,13 @@ runWorkload(const wl::Workload &w, const std::vector<NamedConfig> &configs)
     // generation so resume is near-instant and shutdown drains fast.
     const bool journaled =
         journal && journal->workloadComplete(w.name, configs);
-    std::optional<trace::TraceBuffer> trace;
+    std::optional<wl::TraceHandle> trace;
     std::string trace_error;
     if (!journaled && !shutdownRequested()) {
         try {
-            trace.emplace(
-                wl::generateTrace(w, configs.front().cfg.trace_records,
-                                  configs.front().cfg.seed));
+            trace.emplace(wl::generateTraceHandle(
+                w, configs.front().cfg.trace_records,
+                configs.front().cfg.seed));
         } catch (const std::exception &e) {
             trace_error =
                 std::string("trace generation failed: ") + e.what();
@@ -234,7 +234,7 @@ runWorkload(const wl::Workload &w, const std::vector<NamedConfig> &configs)
             trace_error = "trace generation failed: unknown exception";
         }
     }
-    const trace::TraceBuffer *tp = trace ? &*trace : nullptr;
+    const trace::TraceSource *tp = trace ? &trace->source() : nullptr;
     const unsigned jobs = suiteJobs();
     if (jobs <= 1 || configs.size() <= 1) {
         for (std::size_t c = 0; c < configs.size(); ++c)
@@ -279,11 +279,11 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
             // skips the generation cost along with the simulations.
             const bool journaled =
                 journal && journal->workloadComplete(w.name, configs);
-            std::optional<trace::TraceBuffer> trace;
+            std::optional<wl::TraceHandle> trace;
             std::string trace_error;
             if (!journaled && !shutdownRequested()) {
                 try {
-                    trace.emplace(wl::generateTrace(
+                    trace.emplace(wl::generateTraceHandle(
                         w, configs.front().cfg.trace_records,
                         configs.front().cfg.seed));
                 } catch (const std::exception &e) {
@@ -297,9 +297,9 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
             }
             for (std::size_t c = 0; c < configs.size(); ++c)
                 runCellJournaled(journal.get(), w.name,
-                                 trace ? &*trace : nullptr, configs[c],
-                                 trace_error, row.results[c],
-                                 row.statuses[c]);
+                                 trace ? &trace->source() : nullptr,
+                                 configs[c], trace_error,
+                                 row.results[c], row.statuses[c]);
             rows.push_back(std::move(row));
             if (progress)
                 progress(w.name);
@@ -328,7 +328,7 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
     // workload whose generator throws loses only its own row; a fully
     // journaled workload skips generation (its cells resume from the
     // manifest), and a pending shutdown skips it too.
-    std::vector<std::optional<trace::TraceBuffer>> traces(n_wl);
+    std::vector<std::optional<wl::TraceHandle>> traces(n_wl);
     std::vector<std::string> trace_errors(n_wl);
     util::parallelFor(pool, n_wl, [&](std::size_t i) {
         if (journal && journal->workloadComplete(suite[i].name, configs))
@@ -336,7 +336,7 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
         if (shutdownRequested())
             return; // cells report "interrupted by shutdown request"
         try {
-            traces[i].emplace(wl::generateTrace(
+            traces[i].emplace(wl::generateTraceHandle(
                 suite[i], configs.front().cfg.trace_records,
                 configs.front().cfg.seed));
         } catch (const std::exception &e) {
@@ -358,8 +358,8 @@ runSuite(const std::vector<NamedConfig> &configs, const ProgressFn &progress)
         const std::size_t w = t / n_cfg;
         const std::size_t c = t % n_cfg;
         runCellJournaled(journal.get(), suite[w].name,
-                         traces[w] ? &*traces[w] : nullptr, configs[c],
-                         trace_errors[w], rows[w].results[c],
+                         traces[w] ? &traces[w]->source() : nullptr,
+                         configs[c], trace_errors[w], rows[w].results[c],
                          rows[w].statuses[c]);
         if (progress &&
             cells_done[w].fetch_add(1, std::memory_order_acq_rel) + 1 ==

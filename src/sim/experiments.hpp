@@ -92,7 +92,11 @@ using ProgressFn = std::function<void(const std::string &workload)>;
  * Run each configuration over each workload of the paper suite.  The
  * workload's trace is generated once (with the first configuration's
  * record count and seed) and shared immutably across configurations, so
- * normalized comparisons see identical instruction streams.
+ * normalized comparisons see identical instruction streams.  Under
+ * RMCC_TRACE_SPILL the trace streams to a checksummed file in
+ * RMCC_TRACE_DIR instead of RAM and every cell replays it through
+ * windowed mmap — same records, bit-identical results, bounded memory
+ * (see wl::generateTraceHandle and docs/TRACING.md).
  *
  * With RMCC_JOBS > 1 the traces and then every (workload, config) cell
  * run as independent thread-pool tasks; rows come back in suite order
@@ -135,7 +139,7 @@ unsigned suiteJobs();
 
 /** Dispatch one run by the configuration's mode. */
 SimResult runOne(const std::string &workload_name,
-                 const trace::TraceBuffer &trace, const NamedConfig &nc);
+                 const trace::TraceSource &trace, const NamedConfig &nc);
 
 /**
  * runOne with the suite runner's failure isolation: catch, retry per
@@ -144,7 +148,7 @@ SimResult runOne(const std::string &workload_name,
  */
 std::pair<SimResult, CellStatus>
 runCellGuarded(const std::string &workload_name,
-               const trace::TraceBuffer &trace, const NamedConfig &nc);
+               const trace::TraceSource &trace, const NamedConfig &nc);
 
 namespace detail
 {

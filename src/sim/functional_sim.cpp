@@ -9,14 +9,14 @@ namespace rmcc::sim
 
 SimResult
 runFunctional(const std::string &workload_name,
-              const trace::TraceBuffer &trace, const SystemConfig &cfg)
+              const trace::TraceSource &trace, const SystemConfig &cfg)
 {
     return runFunctional(workload_name, trace, cfg, nullptr);
 }
 
 SimResult
 runFunctional(const std::string &workload_name,
-              const trace::TraceBuffer &trace, const SystemConfig &cfg,
+              const trace::TraceSource &trace, const SystemConfig &cfg,
               fault::FaultCampaign *campaign)
 {
     detail::SimRig rig(cfg);
@@ -40,57 +40,73 @@ runFunctional(const std::string &workload_name,
 
     std::unique_ptr<obs::Registry> obs =
         obs::makeRunRegistry(detail::cellName(workload_name, cfg));
+
+    // The drive walks the source's windows (one covering the whole
+    // vector for in-RAM traces; mmap'd spans with next-window prefetch
+    // for spilled ones) and pre-warms the page mapper per window from
+    // the planning pass — both invisible to the simulated state.
+    detail::TraceDrive drive(trace, rig.mapper, obs.get());
+
     if (obs) {
         detail::registerRigProbes(*obs, rig, trace,
-                                  [&fake_now] { return fake_now; });
+                                  [&fake_now] { return fake_now; },
+                                  drive.ioStats());
         rig.mc.attachObs(obs.get());
     }
 
     // One-record lookahead (see runTiming): translating record i+1 at the
     // end of iteration i keeps the first-touch order v0, v1, v2, ... the
     // plain loop produced, and the prefetch hooks are pure, so results
-    // are bit-identical.
-    const auto &records = trace.records();
-    const std::size_t n_records = records.size();
+    // are bit-identical.  `ahead` carries the lookahead across window
+    // boundaries.
+    bool more = drive.advance();
     addr::Addr next_paddr =
-        n_records > 0 ? rig.mapper.translate(records[0].vaddr) : 0;
-    for (std::size_t i = 0; i < n_records; ++i) {
-        // Cooperative cancellation: a cell past RMCC_CELL_TIMEOUT_MS (or
-        // a SIGTERM'd suite) aborts here instead of running to the end.
-        if ((i & 0x1fff) == 0)
-            util::pollCancel();
-        const trace::Record &rec = records[i];
-        if (i == cfg.warmup_records) {
-            mc_at_warm = rig.mc.stats();
-            side_at_warm = side;
-            insts_at_warm = instructions;
-        }
-        instructions += rec.inst_gap + 1;
+        more ? rig.mapper.translate(drive.window().data[0].vaddr) : 0;
+    std::size_t i = 0;
+    while (more) {
+        const trace::TraceWindow &w = drive.window();
+        for (std::size_t k = 0; k < w.count; ++k, ++i) {
+            // Cooperative cancellation: a cell past RMCC_CELL_TIMEOUT_MS
+            // (or a SIGTERM'd suite) aborts here instead of running to
+            // the end.
+            if ((i & 0x1fff) == 0)
+                util::pollCancel();
+            const trace::Record &rec = w.data[k];
+            if (i == cfg.warmup_records) {
+                mc_at_warm = rig.mc.stats();
+                side_at_warm = side;
+                insts_at_warm = instructions;
+            }
+            instructions += rec.inst_gap + 1;
 
-        if (!rig.tlb.access(rec.vaddr))
-            side.inc(h_tlb_miss);
-        const addr::Addr paddr = next_paddr;
-        if (i + 1 < n_records) {
-            next_paddr = rig.mapper.translate(records[i + 1].vaddr);
-            rig.hier.prefetch(next_paddr);
-            rig.mc.prefetchRead(next_paddr);
+            if (!rig.tlb.access(rec.vaddr))
+                side.inc(h_tlb_miss);
+            const addr::Addr paddr = next_paddr;
+            const trace::Record *nxt =
+                k + 1 < w.count ? &w.data[k + 1] : w.ahead;
+            if (nxt != nullptr) {
+                next_paddr = rig.mapper.translate(nxt->vaddr);
+                rig.hier.prefetch(next_paddr);
+                rig.mc.prefetchRead(next_paddr);
+            }
+            const cache::HierarchyResult h =
+                rig.hier.access(paddr, rec.is_write);
+            if (h.llc_miss) {
+                side.inc(h_llc_miss);
+                rig.mc.read(paddr, fake_now);
+                fake_now += 20.0;
+            }
+            if (h.memory_writeback) {
+                side.inc(h_llc_wb);
+                rig.mc.write(*h.memory_writeback, fake_now);
+                fake_now += 20.0;
+            }
+            if (campaign != nullptr && cfg.secure)
+                campaign->afterRecord();
+            if (obs)
+                obs->tick();
         }
-        const cache::HierarchyResult h =
-            rig.hier.access(paddr, rec.is_write);
-        if (h.llc_miss) {
-            side.inc(h_llc_miss);
-            rig.mc.read(paddr, fake_now);
-            fake_now += 20.0;
-        }
-        if (h.memory_writeback) {
-            side.inc(h_llc_wb);
-            rig.mc.write(*h.memory_writeback, fake_now);
-            fake_now += 20.0;
-        }
-        if (campaign != nullptr && cfg.secure)
-            campaign->afterRecord();
-        if (obs)
-            obs->tick();
+        more = drive.advance();
     }
     if (campaign != nullptr && cfg.secure)
         rig.mc.attachObserver(nullptr);

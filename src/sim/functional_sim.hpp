@@ -10,7 +10,7 @@
 
 #include "sim/report.hpp"
 #include "sim/system_config.hpp"
-#include "trace/trace_buffer.hpp"
+#include "trace/trace_source.hpp"
 
 namespace rmcc::fault
 {
@@ -28,7 +28,7 @@ namespace rmcc::sim
  * only the remainder.
  */
 SimResult runFunctional(const std::string &workload_name,
-                        const trace::TraceBuffer &trace,
+                        const trace::TraceSource &trace,
                         const SystemConfig &cfg);
 
 /**
@@ -40,7 +40,7 @@ SimResult runFunctional(const std::string &workload_name,
  * outlive the call.  Pass nullptr for a plain run.
  */
 SimResult runFunctional(const std::string &workload_name,
-                        const trace::TraceBuffer &trace,
+                        const trace::TraceSource &trace,
                         const SystemConfig &cfg,
                         fault::FaultCampaign *campaign);
 

@@ -20,7 +20,7 @@
 #include "crypto/dispatch.hpp"
 #include "obs/registry.hpp"
 #include "sim/rig.hpp"
-#include "trace/trace_buffer.hpp"
+#include "trace/trace_source.hpp"
 
 namespace rmcc::sim::detail
 {
@@ -90,13 +90,16 @@ cellName(const std::string &workload, const SystemConfig &cfg)
 /**
  * Register the standard probe catalog over a rig.  now_fn supplies the
  * current simulated time for the DRAM-backlog probe (the two simulators
- * keep time differently).  Everything referenced must outlive the
- * registry; probe lambdas capture raw pointers/references.
+ * keep time differently).  io, when non-null, is the replay cursor's
+ * I/O counter block (spilled traces only) and adds the spill probes.
+ * Everything referenced must outlive the registry; probe lambdas capture
+ * raw pointers/references.
  */
 inline void
 registerRigProbes(obs::Registry &o, SimRig &rig,
-                  const trace::TraceBuffer &trace,
-                  std::function<double()> now_fn)
+                  const trace::TraceSource &trace,
+                  std::function<double()> now_fn,
+                  const trace::TraceIoStats *io = nullptr)
 {
     // Memoization table + candidate monitor (L0; the headline curves).
     core::RmccEngine &eng = rig.engine;
@@ -196,6 +199,20 @@ registerRigProbes(obs::Registry &o, SimRig &rig,
     // Trace health: records refused by the bounded buffer.
     o.addProbe("trace.dropped",
                [&trace] { return double(trace.dropped()); });
+
+    // Out-of-core replay: window traffic of the spilled-trace cursor
+    // (absent entirely for in-RAM traces, keeping their obs output
+    // unchanged).
+    if (io != nullptr) {
+        o.addProbe("trace.windows_served",
+                   [io] { return double(io->windows_served); });
+        o.addProbe("trace.prefetches",
+                   [io] { return double(io->prefetches); });
+        o.addProbe("trace.windows_dropped",
+                   [io] { return double(io->windows_dropped); });
+        o.addProbe("trace.io_wait_ns",
+                   [io] { return double(io->wait_ns); });
+    }
 
     // Obs self-diagnostic: epoch rows evicted from the ring so far.
     o.addProbe("obs.epochs_dropped",

@@ -17,6 +17,7 @@
 #include "mc/recovery.hpp"
 #include "mc/secure_mc.hpp"
 #include "sim/system_config.hpp"
+#include "sim/trace_drive.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 
@@ -85,7 +86,7 @@ struct SimRig
  */
 inline void
 preconditionRmcc(SimRig &rig, const SystemConfig &cfg,
-                 const trace::TraceBuffer &trace)
+                 const trace::TraceSource &trace)
 {
     if (!(cfg.secure && cfg.rmcc && cfg.precondition))
         return;
@@ -99,30 +100,39 @@ preconditionRmcc(SimRig &rig, const SystemConfig &cfg,
     // produce — without pre-warming the measured caches.
     cache::Hierarchy scratch(cfg.l1, cfg.l2, cfg.llc);
     std::uint64_t polled = 0;
-    for (const trace::Record &rec : trace.records()) {
-        if ((polled++ & 0x1fff) == 0)
-            util::pollCancel();
-        const addr::Addr paddr = rig.mapper.translate(rec.vaddr);
-        const cache::HierarchyResult h =
-            scratch.access(paddr, rec.is_write);
-        if (h.llc_miss) {
-            const addr::BlockId blk = addr::blockOf(paddr);
-            rig.engine.onReadCounterUse(0, blk);
-            if (ops % 8 == 0)
-                rig.engine.onReadCounterUse(1, blk / cov0);
-            ++ops;
-            rig.engine.onDramAccess();
-        }
-        if (h.memory_writeback) {
-            const addr::BlockId blk =
-                addr::blockOf(*h.memory_writeback);
-            rig.engine.onWriteCounter(0, blk);
-            // L0 counter blocks reach memory roughly once per several
-            // data writebacks; exercise the L1 table at that rate.
-            if (ops % 8 == 0)
-                rig.engine.onWriteCounter(1, blk / cov0);
-            ++ops;
-            rig.engine.onDramAccess();
+    // This pass runs first, so with a spilled source its window-boundary
+    // pre-warm (TraceDrive) establishes the mapper's first-touch frame
+    // order; the measured loop's pre-warms then all no-op.
+    TraceDrive drive(trace, rig.mapper, nullptr);
+    while (drive.advance()) {
+        const trace::TraceWindow &w = drive.window();
+        for (std::size_t k = 0; k < w.count; ++k) {
+            if ((polled++ & 0x1fff) == 0)
+                util::pollCancel();
+            const trace::Record &rec = w.data[k];
+            const addr::Addr paddr = rig.mapper.translate(rec.vaddr);
+            const cache::HierarchyResult h =
+                scratch.access(paddr, rec.is_write);
+            if (h.llc_miss) {
+                const addr::BlockId blk = addr::blockOf(paddr);
+                rig.engine.onReadCounterUse(0, blk);
+                if (ops % 8 == 0)
+                    rig.engine.onReadCounterUse(1, blk / cov0);
+                ++ops;
+                rig.engine.onDramAccess();
+            }
+            if (h.memory_writeback) {
+                const addr::BlockId blk =
+                    addr::blockOf(*h.memory_writeback);
+                rig.engine.onWriteCounter(0, blk);
+                // L0 counter blocks reach memory roughly once per
+                // several data writebacks; exercise the L1 table at
+                // that rate.
+                if (ops % 8 == 0)
+                    rig.engine.onWriteCounter(1, blk / cov0);
+                ++ops;
+                rig.engine.onDramAccess();
+            }
         }
     }
     rig.engine.setBudgetPools(0.0);

@@ -9,7 +9,7 @@ namespace rmcc::sim
 
 SimResult
 runTiming(const std::string &workload_name,
-          const trace::TraceBuffer &trace, const SystemConfig &cfg)
+          const trace::TraceSource &trace, const SystemConfig &cfg)
 {
     detail::SimRig rig(cfg);
     detail::preconditionRmcc(rig, cfg, trace);
@@ -17,9 +17,15 @@ runTiming(const std::string &workload_name,
 
     std::unique_ptr<obs::Registry> obs =
         obs::makeRunRegistry(detail::cellName(workload_name, cfg));
+
+    // Windowed iteration + per-window mapper pre-warm (see TraceDrive);
+    // invisible to the simulated state.
+    detail::TraceDrive drive(trace, rig.mapper, obs.get());
+
     if (obs) {
         detail::registerRigProbes(*obs, rig, trace,
-                                  [&cpu] { return cpu.now(); });
+                                  [&cpu] { return cpu.now(); },
+                                  drive.ioStats());
         rig.mc.attachObs(obs.get());
     }
 
@@ -42,52 +48,59 @@ runTiming(const std::string &workload_name,
     // preserves the exact first-touch order v0, v1, v2, ... that the
     // plain loop produced — page-frame assignment, and therefore every
     // physical address and result, is unchanged.
-    const auto &records = trace.records();
-    const std::size_t n_records = records.size();
+    bool more = drive.advance();
     addr::Addr next_paddr =
-        n_records > 0 ? rig.mapper.translate(records[0].vaddr) : 0;
-    for (std::size_t i = 0; i < n_records; ++i) {
-        // Cooperative cancellation: a cell past RMCC_CELL_TIMEOUT_MS (or
-        // a SIGTERM'd suite) aborts here instead of running to the end.
-        if ((i & 0x1fff) == 0)
-            util::pollCancel();
-        const trace::Record &rec = records[i];
-        if (i == cfg.warmup_records) {
-            mc_at_warm = rig.mc.stats();
-            side_at_warm = side;
-            insts_at_warm = cpu.instructions();
-            time_at_warm = cpu.now();
-        }
+        more ? rig.mapper.translate(drive.window().data[0].vaddr) : 0;
+    std::size_t i = 0;
+    while (more) {
+        const trace::TraceWindow &w = drive.window();
+        for (std::size_t k = 0; k < w.count; ++k, ++i) {
+            // Cooperative cancellation: a cell past RMCC_CELL_TIMEOUT_MS
+            // (or a SIGTERM'd suite) aborts here instead of running to
+            // the end.
+            if ((i & 0x1fff) == 0)
+                util::pollCancel();
+            const trace::Record &rec = w.data[k];
+            if (i == cfg.warmup_records) {
+                mc_at_warm = rig.mc.stats();
+                side_at_warm = side;
+                insts_at_warm = cpu.instructions();
+                time_at_warm = cpu.now();
+            }
 
-        const double issue = cpu.advance(rec.inst_gap);
-        if (!rig.tlb.access(rec.vaddr))
-            side.inc(h_tlb_miss);
-        const addr::Addr paddr = next_paddr;
-        if (i + 1 < n_records) {
-            next_paddr = rig.mapper.translate(records[i + 1].vaddr);
-            rig.hier.prefetch(next_paddr);
-            rig.mc.prefetchRead(next_paddr);
-        }
-        const cache::HierarchyResult h =
-            rig.hier.access(paddr, rec.is_write);
+            const double issue = cpu.advance(rec.inst_gap);
+            if (!rig.tlb.access(rec.vaddr))
+                side.inc(h_tlb_miss);
+            const addr::Addr paddr = next_paddr;
+            const trace::Record *nxt =
+                k + 1 < w.count ? &w.data[k + 1] : w.ahead;
+            if (nxt != nullptr) {
+                next_paddr = rig.mapper.translate(nxt->vaddr);
+                rig.hier.prefetch(next_paddr);
+                rig.mc.prefetchRead(next_paddr);
+            }
+            const cache::HierarchyResult h =
+                rig.hier.access(paddr, rec.is_write);
 
-        if (h.llc_miss) {
-            side.inc(h_llc_miss);
-            const mc::McReadResult r =
-                rig.mc.read(paddr, issue + llc_lookup_ns);
-            cpu.recordLongLatency(r.done_ns);
-        } else if (h.hit_level == 3) {
-            // LLC hits are long enough to occupy the window.
-            cpu.recordLongLatency(issue + h.hit_latency_ns);
+            if (h.llc_miss) {
+                side.inc(h_llc_miss);
+                const mc::McReadResult r =
+                    rig.mc.read(paddr, issue + llc_lookup_ns);
+                cpu.recordLongLatency(r.done_ns);
+            } else if (h.hit_level == 3) {
+                // LLC hits are long enough to occupy the window.
+                cpu.recordLongLatency(issue + h.hit_latency_ns);
+            }
+            if (h.memory_writeback) {
+                side.inc(h_llc_wb);
+                const double stall =
+                    rig.mc.write(*h.memory_writeback, cpu.now());
+                cpu.stallUntil(stall);
+            }
+            if (obs)
+                obs->tick();
         }
-        if (h.memory_writeback) {
-            side.inc(h_llc_wb);
-            const double stall =
-                rig.mc.write(*h.memory_writeback, cpu.now());
-            cpu.stallUntil(stall);
-        }
-        if (obs)
-            obs->tick();
+        more = drive.advance();
     }
     const double end = cpu.finish();
     if (obs) {

@@ -10,7 +10,7 @@
 
 #include "sim/report.hpp"
 #include "sim/system_config.hpp"
-#include "trace/trace_buffer.hpp"
+#include "trace/trace_source.hpp"
 
 namespace rmcc::sim
 {
@@ -20,7 +20,7 @@ namespace rmcc::sim
  * Statistics, instructions, and elapsed time are windowed past warm-up.
  */
 SimResult runTiming(const std::string &workload_name,
-                    const trace::TraceBuffer &trace,
+                    const trace::TraceSource &trace,
                     const SystemConfig &cfg);
 
 } // namespace rmcc::sim

@@ -3,10 +3,38 @@
 #include <algorithm>
 #include <utility>
 
+#include "trace/block_set.hpp"
 #include "util/log.hpp"
 
 namespace rmcc::trace
 {
+
+namespace
+{
+
+/** The whole vector as one window; ahead is always null (nothing follows). */
+class BufferCursor final : public TraceCursor
+{
+  public:
+    explicit BufferCursor(const std::vector<Record> &records)
+        : records_(records)
+    {
+    }
+
+    TraceWindow next() override
+    {
+        if (done_)
+            return {};
+        done_ = true;
+        return {records_.data(), records_.size(), 0, nullptr};
+    }
+
+  private:
+    const std::vector<Record> &records_;
+    bool done_ = false;
+};
+
+} // namespace
 
 TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity)
 {
@@ -54,9 +82,11 @@ TraceBuffer::append(addr::Addr vaddr, bool is_write, std::uint32_t inst_gap)
 {
     if (full()) {
         if (dropped_++ == 0)
-            util::warn("trace buffer full (%zu records): dropping further "
-                       "appends",
-                       records_.size());
+            util::warn("trace buffer full (configured capacity %zu "
+                       "records): dropping further appends; set "
+                       "RMCC_TRACE_SPILL=on to stream traces larger than "
+                       "RAM to disk instead",
+                       capacity_);
         return;
     }
     if (vaddr > kMaxRecordVaddr)
@@ -79,15 +109,21 @@ TraceBuffer::distinctBlocks() const
 {
     if (distinct_valid_)
         return distinct_cache_;
-    std::vector<addr::BlockId> blocks;
-    blocks.reserve(records_.size());
+    // One streaming pass through a hash set: O(n) expected time and
+    // O(distinct) space, versus the old sort|unique's O(n log n) time
+    // over an O(n) copy of the whole trace.
+    BlockSet blocks(records_.size() / 8 + 16);
     for (const auto &r : records_)
-        blocks.push_back(addr::blockOf(r.vaddr));
-    std::sort(blocks.begin(), blocks.end());
-    blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+        blocks.insert(addr::blockOf(r.vaddr));
     distinct_cache_ = blocks.size();
     distinct_valid_ = true;
     return distinct_cache_;
+}
+
+std::unique_ptr<TraceCursor>
+TraceBuffer::cursor() const
+{
+    return std::make_unique<BufferCursor>(records_);
 }
 
 } // namespace rmcc::trace

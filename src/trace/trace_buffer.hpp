@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "trace/record.hpp"
+#include "trace/trace_source.hpp"
 
 namespace rmcc::trace
 {
@@ -21,8 +22,13 @@ namespace rmcc::trace
  * via full()).  Appends past capacity are counted in dropped() and warned
  * about once — a workload that keeps generating after full() indicates a
  * miswired loop, not data to discard silently.
+ *
+ * The buffer is both a TraceSink (generators stream into it) and a
+ * TraceSource (the simulators replay from it as a single window covering
+ * the whole vector).  Traces too large for RAM go through the spilling
+ * TraceFileWriter / TraceFileReader pair instead (RMCC_TRACE_SPILL).
  */
-class TraceBuffer
+class TraceBuffer : public TraceSink, public TraceSource
 {
   public:
     /** Create a buffer that accepts up to capacity records. */
@@ -34,7 +40,7 @@ class TraceBuffer
      * generator that keeps running long past full() would otherwise
      * under-report by orders of magnitude.
      */
-    ~TraceBuffer();
+    ~TraceBuffer() override;
 
     //! Moves transfer the drop counter (the source stops owning it), so
     //! a moved-from temporary's destructor does not double-report.
@@ -50,30 +56,37 @@ class TraceBuffer
      * Record cannot represent them and truncation would silently corrupt
      * the trace.
      */
-    void append(addr::Addr vaddr, bool is_write, std::uint32_t inst_gap);
+    void append(addr::Addr vaddr, bool is_write,
+                std::uint32_t inst_gap) override;
 
     /** True once capacity records have been recorded. */
-    bool full() const { return records_.size() >= capacity_; }
+    bool full() const override { return records_.size() >= capacity_; }
 
     /** Recorded operations. */
     const std::vector<Record> &records() const { return records_; }
 
-    std::size_t size() const { return records_.size(); }
+    std::size_t size() const override { return records_.size(); }
 
     /** Total instructions represented (memory ops + gaps). */
-    std::uint64_t totalInstructions() const { return total_insts_; }
+    std::uint64_t totalInstructions() const override
+    {
+        return total_insts_;
+    }
 
     /** Number of writes recorded. */
-    std::uint64_t writes() const { return writes_; }
+    std::uint64_t writes() const override { return writes_; }
 
     /** Appends refused because the buffer was already full. */
-    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t dropped() const override { return dropped_; }
 
     /**
      * Distinct 64 B blocks touched (exact).  Computed on first call and
      * cached; appending invalidates the cache.
      */
-    std::uint64_t distinctBlocks() const;
+    std::uint64_t distinctBlocks() const override;
+
+    /** One window spanning the whole vector (zero per-record overhead). */
+    std::unique_ptr<TraceCursor> cursor() const override;
 
   private:
     std::size_t capacity_;
@@ -81,8 +94,9 @@ class TraceBuffer
     std::uint64_t total_insts_ = 0;
     std::uint64_t writes_ = 0;
     std::uint64_t dropped_ = 0;
-    //! distinctBlocks() is O(n log n); reporting code calls it repeatedly
-    //! on a finished trace, so the result is memoized until an append.
+    //! Reporting code calls distinctBlocks() repeatedly on a finished
+    //! trace, so the streaming hash-set count (one O(n) pass, no sort)
+    //! is memoized until an append invalidates it.
     mutable std::uint64_t distinct_cache_ = 0;
     mutable bool distinct_valid_ = false;
 };

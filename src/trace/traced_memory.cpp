@@ -3,9 +3,9 @@
 namespace rmcc::trace
 {
 
-TracedHeap::TracedHeap(TraceBuffer &buffer, double mean_inst_gap,
+TracedHeap::TracedHeap(TraceSink &sink, double mean_inst_gap,
                        std::uint64_t seed)
-    : buffer_(buffer), mean_gap_(mean_inst_gap), rng_(seed)
+    : sink_(sink), mean_gap_(mean_inst_gap), rng_(seed)
 {
 }
 
@@ -27,16 +27,16 @@ void
 TracedHeap::load(addr::Addr base, std::uint64_t index,
                  std::uint64_t elem_bytes)
 {
-    buffer_.append(base + index * elem_bytes, false,
-                   rng_.nextGeometric(mean_gap_));
+    sink_.append(base + index * elem_bytes, false,
+                 rng_.nextGeometric(mean_gap_));
 }
 
 void
 TracedHeap::store(addr::Addr base, std::uint64_t index,
                   std::uint64_t elem_bytes)
 {
-    buffer_.append(base + index * elem_bytes, true,
-                   rng_.nextGeometric(mean_gap_));
+    sink_.append(base + index * elem_bytes, true,
+                 rng_.nextGeometric(mean_gap_));
 }
 
 } // namespace rmcc::trace

@@ -1,8 +1,9 @@
 /**
  * @file
  * A traced simulated heap: workload kernels allocate arrays from it and
- * every element access is recorded into a TraceBuffer, playing the role of
- * Pin instrumentation over a native binary.
+ * every element access is recorded into a TraceSink (an in-RAM
+ * TraceBuffer or a spilling TraceFileWriter), playing the role of Pin
+ * instrumentation over a native binary.
  *
  * The heap hands out *virtual* address ranges; values live in ordinary host
  * vectors so the kernels are real executable algorithms, not statistical
@@ -15,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "trace/trace_buffer.hpp"
+#include "trace/trace_source.hpp"
 #include "util/rng.hpp"
 
 namespace rmcc::trace
@@ -28,13 +29,12 @@ class TracedHeap
 {
   public:
     /**
-     * @param buffer destination trace (borrowed; must outlive the heap).
+     * @param sink destination trace (borrowed; must outlive the heap).
      * @param mean_inst_gap mean non-memory instructions between recorded
      *        memory operations (workload "compute density").
      * @param seed RNG seed for gap jitter.
      */
-    TracedHeap(TraceBuffer &buffer, double mean_inst_gap,
-               std::uint64_t seed);
+    TracedHeap(TraceSink &sink, double mean_inst_gap, std::uint64_t seed);
 
     /** Reserve a virtual range of n elements of size elem_bytes. */
     addr::Addr allocate(std::uint64_t n, std::uint64_t elem_bytes,
@@ -51,14 +51,14 @@ class TracedHeap
     /** Total bytes allocated. */
     std::uint64_t allocatedBytes() const { return brk_; }
 
-    /** The underlying buffer. */
-    TraceBuffer &buffer() { return buffer_; }
+    /** The underlying sink. */
+    TraceSink &sink() { return sink_; }
 
     /** True once the trace budget is exhausted; kernels should stop. */
-    bool done() const { return buffer_.full(); }
+    bool done() const { return sink_.full(); }
 
   private:
-    TraceBuffer &buffer_;
+    TraceSink &sink_;
     double mean_gap_;
     util::Rng rng_;
     addr::Addr brk_ = 1ULL << 20; // leave a guard gap below the heap

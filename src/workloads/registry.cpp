@@ -1,5 +1,12 @@
 #include "workloads/registry.hpp"
 
+#include <cstdio>
+
+#include <sys/stat.h>
+
+#include "trace/trace_file.hpp"
+#include "trace/trace_reader.hpp"
+#include "util/log.hpp"
 #include "workloads/canneal.hpp"
 #include "workloads/graphbig.hpp"
 #include "workloads/mcf.hpp"
@@ -25,7 +32,7 @@ Workload
 graphWorkload(std::string name, double gap, KernelFn kernel)
 {
     return {std::move(name), gap,
-            [kernel, gap](trace::TraceBuffer &buf, std::uint64_t seed) {
+            [kernel, gap](trace::TraceSink &buf, std::uint64_t seed) {
                 trace::TracedHeap heap(buf, gap, seed);
                 kernel(sharedGraph(), heap, seed);
             }};
@@ -59,17 +66,17 @@ workloadSuite()
                                   &runTriangleCount));
         v.push_back(graphWorkload("shortestPath", 4.0, &runShortestPath));
         v.push_back({"canneal", 6.0,
-                     [](trace::TraceBuffer &buf, std::uint64_t seed) {
+                     [](trace::TraceSink &buf, std::uint64_t seed) {
                          trace::TracedHeap heap(buf, 6.0, seed);
                          runCanneal(CannealConfig(), heap, seed);
                      }});
         v.push_back({"omnetpp", 10.0,
-                     [](trace::TraceBuffer &buf, std::uint64_t seed) {
+                     [](trace::TraceSink &buf, std::uint64_t seed) {
                          trace::TracedHeap heap(buf, 10.0, seed);
                          runOmnetpp(OmnetppConfig(), heap, seed);
                      }});
         v.push_back({"mcf", 8.0,
-                     [](trace::TraceBuffer &buf, std::uint64_t seed) {
+                     [](trace::TraceSink &buf, std::uint64_t seed) {
                          trace::TracedHeap heap(buf, 8.0, seed);
                          runMcf(McfConfig(), heap, seed);
                      }});
@@ -93,6 +100,80 @@ generateTrace(const Workload &w, std::size_t records, std::uint64_t seed)
     trace::TraceBuffer buf(records);
     w.generate(buf, seed);
     return buf;
+}
+
+TraceHandle::TraceHandle(trace::TraceBuffer buf)
+    : ram_(std::make_unique<trace::TraceBuffer>(std::move(buf)))
+{
+}
+
+TraceHandle::TraceHandle(std::unique_ptr<trace::TraceFileReader> file)
+    : file_(std::move(file))
+{
+}
+
+TraceHandle::~TraceHandle() = default;
+TraceHandle::TraceHandle(TraceHandle &&) noexcept = default;
+TraceHandle &TraceHandle::operator=(TraceHandle &&) noexcept = default;
+
+const trace::TraceSource &
+TraceHandle::source() const
+{
+    return file_ ? static_cast<const trace::TraceSource &>(*file_)
+                 : static_cast<const trace::TraceSource &>(*ram_);
+}
+
+const std::string &
+TraceHandle::path() const
+{
+    static const std::string empty;
+    return file_ ? file_->path() : empty;
+}
+
+TraceHandle
+generateTraceHandle(const Workload &w, std::size_t records,
+                    std::uint64_t seed)
+{
+    const trace::SpillConfig sc = trace::spillConfigFromEnv();
+    if (!sc.shouldSpill(records))
+        return TraceHandle(generateTrace(w, records, seed));
+
+    const std::uint64_t fp =
+        trace::traceFingerprint(w.name, records, seed);
+    trace::ensureTraceDir(sc.dir);
+    char fphex[20];
+    std::snprintf(fphex, sizeof fphex, "%016llx",
+                  static_cast<unsigned long long>(fp));
+    const std::string path =
+        sc.dir + "/" + w.name + "-" + fphex + ".rmcctrc";
+
+    // Spill cache: a finalized file for this exact (workload, records,
+    // seed, generator version) is replayed as-is — the fingerprint in
+    // the header plus the opening checksum pass make reuse safe.  Any
+    // mismatch, truncation, or corruption falls through to regeneration.
+    struct stat st{};
+    const bool exists = ::stat(path.c_str(), &st) == 0;
+    if (exists) {
+        try {
+            auto rd = std::make_unique<trace::TraceFileReader>(
+                path, sc.window_records, fp);
+            util::logDebug("trace spill: reusing cached '%s'",
+                           path.c_str());
+            return TraceHandle(std::move(rd));
+        } catch (const std::exception &e) {
+            util::warn("trace spill: cached '%s' rejected (%s); "
+                       "regenerating",
+                       path.c_str(), e.what());
+        }
+    }
+
+    {
+        trace::TraceFileWriter writer(path, records, fp);
+        w.generate(writer, seed);
+        writer.finalize();
+    }
+    return TraceHandle(std::make_unique<trace::TraceFileReader>(
+        path, sc.window_records, fp));
 }
 
 } // namespace rmcc::wl

@@ -683,11 +683,14 @@ TEST(ObsEndToEnd, EpochSeriesShowsRmccHitRate)
     // The MC latency histograms saw real traffic.
     const std::string hists = slurp(hists_path);
     const std::vector<double> counts = csvColumn(hists, "count");
-    ASSERT_EQ(counts.size(), 4u); // mc_read, dram, mac_verify, recovery
+    // mc_read, dram, mac_verify, recovery, trace_io
+    ASSERT_EQ(counts.size(), 5u);
     EXPECT_GT(counts[0], 0.0);
     EXPECT_GT(counts[1], 0.0);
     // No faults injected: the recovery histogram exists but stays empty.
     EXPECT_DOUBLE_EQ(counts[3], 0.0);
+    // In-RAM trace: no spill I/O was timed.
+    EXPECT_DOUBLE_EQ(counts[4], 0.0);
     fs::remove_all(dir);
 }
 

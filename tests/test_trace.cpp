@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "trace/trace_buffer.hpp"
 #include "trace/traced_memory.hpp"
 
 using namespace rmcc::trace;

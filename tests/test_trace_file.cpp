@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Out-of-core trace engine tests: on-disk round-trip and validation
+ * (header checksum, truncation, corruption, fingerprint), windowed
+ * replay equivalence against the in-RAM buffer for every workload
+ * generator, the spill cache's reuse/regenerate behavior, and the
+ * spill + journal/resume interaction (a partially journaled spilled
+ * suite must resume bit-identical to an uninterrupted in-RAM run).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/experiments.hpp"
+#include "sim/functional_sim.hpp"
+#include "sim/timing_sim.hpp"
+#include "trace/trace_buffer.hpp"
+#include "trace/trace_file.hpp"
+#include "trace/trace_plan.hpp"
+#include "trace/trace_reader.hpp"
+#include "workloads/registry.hpp"
+
+using namespace rmcc;
+
+namespace
+{
+
+/** Fresh per-test file path under the gtest temp dir. */
+std::string
+tmpPath(const std::string &leaf)
+{
+    const std::string p = testing::TempDir() + leaf;
+    std::remove(p.c_str());
+    return p;
+}
+
+/** Stream one workload into a finalized trace file; returns its path. */
+std::string
+writeWorkloadFile(const wl::Workload &w, std::uint64_t records,
+                  std::uint64_t seed, const std::string &leaf,
+                  std::uint64_t chunk_records = trace::kTraceChunkRecords)
+{
+    const std::string path = tmpPath(leaf);
+    trace::TraceFileWriter writer(
+        path, records, trace::traceFingerprint(w.name, records, seed),
+        chunk_records);
+    w.generate(writer, seed);
+    writer.finalize();
+    return path;
+}
+
+/** Concatenate every window a source serves. */
+std::vector<trace::Record>
+drain(const trace::TraceSource &src)
+{
+    std::vector<trace::Record> out;
+    const auto cur = src.cursor();
+    for (trace::TraceWindow w = cur->next(); w.count != 0; w = cur->next())
+        out.insert(out.end(), w.data, w.data + w.count);
+    return out;
+}
+
+/** Bit-exact record-stream equality. */
+void
+expectSameStream(const std::vector<trace::Record> &a,
+                 const std::vector<trace::Record> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    if (!a.empty()) {
+        EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                              a.size() * sizeof(trace::Record)),
+                  0);
+    }
+}
+
+/** XOR one byte of a file in place. */
+void
+flipByte(const std::string &path, std::uint64_t offset)
+{
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good()) << path;
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&c, 1);
+}
+
+/** RAII env-var setter that restores the prior value. */
+struct EnvGuard
+{
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        had_ = old != nullptr;
+        old_ = had_ ? old : "";
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~EnvGuard()
+    {
+        if (had_)
+            setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+    std::string name_, old_;
+    bool had_ = false;
+};
+
+/** Small two-config timing grid (as the journal tests use). */
+std::vector<sim::NamedConfig>
+spillSuiteConfigs()
+{
+    std::vector<sim::NamedConfig> configs = {
+        sim::nonSecureConfig(sim::SimMode::Timing),
+        sim::rmccConfig(sim::SimMode::Timing),
+    };
+    for (auto &nc : configs) {
+        nc.cfg.trace_records = 5000;
+        nc.cfg.warmup_records = 2500;
+    }
+    return configs;
+}
+
+/** RAII installer for the per-cell fault hook (always restores empty). */
+struct HookGuard
+{
+    explicit HookGuard(
+        std::function<void(const std::string &, const std::string &)> h)
+    {
+        sim::detail::cell_fault_hook = std::move(h);
+    }
+    ~HookGuard() { sim::detail::cell_fault_hook = nullptr; }
+};
+
+} // namespace
+
+TEST(SpillEnv, StrictParsing)
+{
+    {
+        EnvGuard g1("RMCC_TRACE_SPILL", nullptr);
+        EnvGuard g2("RMCC_TRACE_DIR", nullptr);
+        const trace::SpillConfig sc = trace::spillConfigFromEnv();
+        EXPECT_EQ(sc.mode, trace::SpillConfig::Mode::Off);
+        EXPECT_FALSE(sc.shouldSpill(1ULL << 40));
+    }
+    {
+        EnvGuard g("RMCC_TRACE_SPILL", "on");
+        EXPECT_EQ(trace::spillConfigFromEnv().mode,
+                  trace::SpillConfig::Mode::On);
+    }
+    {
+        EnvGuard g("RMCC_TRACE_SPILL", "sometimes");
+        EXPECT_THROW(trace::spillConfigFromEnv(), std::runtime_error);
+    }
+    {
+        EnvGuard g1("RMCC_TRACE_SPILL", "auto");
+        EnvGuard g2("RMCC_TRACE_WINDOW_RECORDS", "banana");
+        EXPECT_THROW(trace::spillConfigFromEnv(), std::runtime_error);
+    }
+}
+
+TEST(TraceFile, RoundTripPreservesRecordsAndTotals)
+{
+    const wl::Workload &w = wl::workloadSuite().front();
+    constexpr std::uint64_t kRecords = 5000, kSeed = 7;
+    const trace::TraceBuffer ram = wl::generateTrace(w, kRecords, kSeed);
+    const std::string path =
+        writeWorkloadFile(w, kRecords, kSeed, "rmcc_trc_roundtrip");
+
+    const trace::TraceFileReader reader(
+        path, 0, trace::traceFingerprint(w.name, kRecords, kSeed));
+    EXPECT_EQ(reader.size(), ram.size());
+    EXPECT_EQ(reader.totalInstructions(), ram.totalInstructions());
+    EXPECT_EQ(reader.writes(), ram.writes());
+    EXPECT_EQ(reader.dropped(), ram.dropped());
+    EXPECT_EQ(reader.distinctBlocks(), ram.distinctBlocks());
+    expectSameStream(drain(reader), drain(ram));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, WindowedCursorServesLookaheadAcrossBoundaries)
+{
+    const wl::Workload &w = wl::workloadSuite().front();
+    constexpr std::uint64_t kRecords = 5000, kSeed = 7, kWindow = 700;
+    const std::string path =
+        writeWorkloadFile(w, kRecords, kSeed, "rmcc_trc_windows");
+    const trace::TraceFileReader reader(path, kWindow);
+    EXPECT_EQ(reader.windowRecords(), kWindow);
+    EXPECT_EQ(reader.windowCount(), (kRecords + kWindow - 1) / kWindow);
+
+    const auto cur = reader.cursor();
+    std::uint64_t expect_first = 0;
+    std::vector<trace::Record> seen;
+    for (trace::TraceWindow win = cur->next(); win.count != 0;
+         win = cur->next()) {
+        EXPECT_EQ(win.first, expect_first);
+        const bool last = win.first + win.count == kRecords;
+        EXPECT_EQ(win.count, last ? kRecords - win.first : kWindow);
+        if (last) {
+            EXPECT_EQ(win.ahead, nullptr);
+        } else {
+            // `ahead` must be the first record of the next window.
+            ASSERT_NE(win.ahead, nullptr);
+            EXPECT_EQ(std::memcmp(win.ahead, win.data + win.count,
+                                  sizeof(trace::Record)),
+                      0);
+        }
+        seen.insert(seen.end(), win.data, win.data + win.count);
+        expect_first += win.count;
+    }
+    const trace::TraceBuffer ram = wl::generateTrace(w, kRecords, kSeed);
+    expectSameStream(seen, drain(ram));
+
+    // The reader's cursor reports I/O stats; the buffer's does not.
+    EXPECT_NE(reader.cursor()->ioStats(), nullptr);
+    EXPECT_EQ(ram.cursor()->ioStats(), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, AbandonedWriterLeavesNoFile)
+{
+    const std::string path = tmpPath("rmcc_trc_abandoned");
+    {
+        trace::TraceFileWriter writer(path, 100, 1);
+        writer.append(0x1000, false, 3);
+        // No finalize(): destructor must unlink the temporary.
+    }
+    EXPECT_FALSE(std::filesystem::exists(path));
+    bool tmp_left = false;
+    for (const auto &e :
+         std::filesystem::directory_iterator(testing::TempDir()))
+        if (e.path().string().find("rmcc_trc_abandoned.tmp.") !=
+            std::string::npos)
+            tmp_left = true;
+    EXPECT_FALSE(tmp_left);
+}
+
+TEST(TraceFile, TruncatedFileRejected)
+{
+    const wl::Workload &w = wl::workloadSuite().front();
+    const std::string path =
+        writeWorkloadFile(w, 3000, 11, "rmcc_trc_truncated");
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full - 8);
+    EXPECT_THROW(trace::TraceFileReader{path}, std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CorruptHeaderRejected)
+{
+    const wl::Workload &w = wl::workloadSuite().front();
+    const std::string path =
+        writeWorkloadFile(w, 3000, 11, "rmcc_trc_badheader");
+    flipByte(path, offsetof(trace::FileHeader, record_count));
+    EXPECT_THROW(trace::TraceFileReader{path}, std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CorruptRecordPayloadRejected)
+{
+    const wl::Workload &w = wl::workloadSuite().front();
+    const std::string path =
+        writeWorkloadFile(w, 3000, 11, "rmcc_trc_badrecord");
+    // One bit anywhere in the record stream must fail a chunk checksum.
+    flipByte(path, sizeof(trace::FileHeader) + 1500 * 8 + 3);
+    EXPECT_THROW(trace::TraceFileReader{path}, std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, WrongFingerprintRejected)
+{
+    const wl::Workload &w = wl::workloadSuite().front();
+    constexpr std::uint64_t kRecords = 3000, kSeed = 11;
+    const std::string path =
+        writeWorkloadFile(w, kRecords, kSeed, "rmcc_trc_badfp");
+    const std::uint64_t fp =
+        trace::traceFingerprint(w.name, kRecords, kSeed);
+    EXPECT_NO_THROW(trace::TraceFileReader(path, 0, fp));
+    EXPECT_THROW(trace::TraceFileReader(path, 0, fp + 1),
+                 std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, PlanTotalsMatchStreamTotals)
+{
+    const wl::Workload &w = wl::workloadSuite().front();
+    constexpr std::uint64_t kRecords = 5000, kSeed = 7, kWindow = 900;
+    const std::string path =
+        writeWorkloadFile(w, kRecords, kSeed, "rmcc_trc_plan");
+    const trace::TraceFileReader reader(path, kWindow);
+    const trace::TracePlan *plan = reader.plan();
+    ASSERT_NE(plan, nullptr);
+    EXPECT_EQ(plan->total_records, kRecords);
+    EXPECT_EQ(plan->window_records, kWindow);
+    EXPECT_EQ(plan->distinct_blocks, reader.distinctBlocks());
+    ASSERT_EQ(plan->windows.size(), reader.windowCount());
+
+    // The per-window first-touch lists partition the global page set.
+    std::uint64_t new_pages = 0, list_len = 0;
+    for (const trace::WindowPlan &wp : plan->windows) {
+        EXPECT_EQ(wp.new_pages, wp.page_list_len);
+        EXPECT_EQ(wp.page_list_off, list_len);
+        new_pages += wp.new_pages;
+        list_len += wp.page_list_len;
+    }
+    EXPECT_EQ(new_pages, plan->distinct_pages);
+    EXPECT_EQ(list_len, plan->first_touch_vaddrs.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, FunctionalReplayEquivalentForEveryWorkload)
+{
+    // Window chosen to NOT divide the trace: several boundary crossings
+    // plus a short final window per workload.
+    constexpr std::uint64_t kRecords = 4000, kSeed = 3, kWindow = 900;
+    sim::NamedConfig nc = sim::rmccConfig(sim::SimMode::Functional);
+    nc.cfg.trace_records = kRecords;
+    nc.cfg.warmup_records = kRecords / 2;
+    for (const wl::Workload &w : wl::workloadSuite()) {
+        const trace::TraceBuffer ram =
+            wl::generateTrace(w, kRecords, kSeed);
+        const std::string path = writeWorkloadFile(
+            w, kRecords, kSeed, "rmcc_trc_eq_" + w.name);
+        const trace::TraceFileReader reader(path, kWindow);
+        const sim::SimResult a = sim::runFunctional(w.name, ram, nc.cfg);
+        const sim::SimResult b =
+            sim::runFunctional(w.name, reader, nc.cfg);
+        EXPECT_EQ(a.stats.all(), b.stats.all()) << w.name;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceFile, TimingReplayEquivalentAcrossWindows)
+{
+    constexpr std::uint64_t kRecords = 5000, kSeed = 3, kWindow = 1100;
+    sim::NamedConfig nc = sim::rmccConfig(sim::SimMode::Timing);
+    nc.cfg.trace_records = kRecords;
+    nc.cfg.warmup_records = kRecords / 2;
+    const wl::Workload &w = wl::workloadSuite().front();
+    const trace::TraceBuffer ram = wl::generateTrace(w, kRecords, kSeed);
+    const std::string path =
+        writeWorkloadFile(w, kRecords, kSeed, "rmcc_trc_timing_eq");
+    const trace::TraceFileReader reader(path, kWindow);
+    const sim::SimResult a = sim::runTiming(w.name, ram, nc.cfg);
+    const sim::SimResult b = sim::runTiming(w.name, reader, nc.cfg);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.elapsed_ns, b.elapsed_ns);
+    EXPECT_EQ(a.stats.all(), b.stats.all());
+    std::remove(path.c_str());
+}
+
+TEST(SpillCache, ReusesValidFileAndRegeneratesCorruptOne)
+{
+    const std::string dir = tmpPath("rmcc_spill_cache");
+    EnvGuard g1("RMCC_TRACE_SPILL", "on");
+    EnvGuard g2("RMCC_TRACE_DIR", dir.c_str());
+    const wl::Workload &w = wl::workloadSuite().front();
+    constexpr std::uint64_t kRecords = 3000, kSeed = 5;
+
+    std::string path;
+    std::filesystem::file_time_type first_mtime;
+    {
+        const wl::TraceHandle h =
+            wl::generateTraceHandle(w, kRecords, kSeed);
+        ASSERT_TRUE(h.spilled());
+        path = h.path();
+        ASSERT_TRUE(std::filesystem::exists(path));
+        first_mtime = std::filesystem::last_write_time(path);
+    }
+    {
+        // Second generation must reuse the cached file, not rewrite it.
+        const wl::TraceHandle h =
+            wl::generateTraceHandle(w, kRecords, kSeed);
+        ASSERT_TRUE(h.spilled());
+        EXPECT_EQ(h.path(), path);
+        EXPECT_EQ(std::filesystem::last_write_time(path), first_mtime);
+    }
+    // A corrupted cache entry must be rejected and regenerated, and the
+    // regenerated trace must replay identically to the in-RAM stream.
+    flipByte(path, sizeof(trace::FileHeader) + 100 * 8);
+    {
+        const wl::TraceHandle h =
+            wl::generateTraceHandle(w, kRecords, kSeed);
+        ASSERT_TRUE(h.spilled());
+        const trace::TraceBuffer ram =
+            wl::generateTrace(w, kRecords, kSeed);
+        expectSameStream(drain(h.source()), drain(ram));
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SpillJournal, ResumedSpilledSuiteMatchesInRamRun)
+{
+    // Spill + crash-safety interaction: journal a spilled suite whose
+    // last workload's cells all fail (standing in for cells lost to a
+    // mid-run SIGTERM — either way they are absent from the journal),
+    // then resume with spill still on.  Journaled cells are served
+    // bit-exact; missing ones rerun from the cached spill files; the
+    // whole grid must equal an uninterrupted *in-RAM* reference run.
+    const std::string dir = tmpPath("rmcc_spill_journal_dir");
+    const std::string base = tmpPath("rmcc_spill_journal");
+    std::remove((base + ".1").c_str());
+    const std::vector<sim::NamedConfig> configs = spillSuiteConfigs();
+    EnvGuard jobs("RMCC_JOBS", "1");
+
+    std::vector<sim::SuiteRow> reference;
+    {
+        EnvGuard off("RMCC_TRACE_SPILL", nullptr);
+        reference = sim::runSuite(configs);
+    }
+    for (const sim::SuiteRow &row : reference)
+        ASSERT_TRUE(row.allOk()) << row.workload;
+
+    EnvGuard spill("RMCC_TRACE_SPILL", "on");
+    EnvGuard spill_dir("RMCC_TRACE_DIR", dir.c_str());
+    EnvGuard journal("RMCC_SUITE_JOURNAL", base.c_str());
+    const std::string victim = wl::workloadSuite().back().name;
+    {
+        EnvGuard retries("RMCC_CELL_RETRIES", "0");
+        HookGuard guard([&victim](const std::string &w,
+                                  const std::string &) {
+            if (w == victim)
+                throw std::runtime_error("injected crash");
+        });
+        const std::vector<sim::SuiteRow> partial = sim::runSuite(configs);
+        bool victim_failed = false;
+        for (const sim::SuiteRow &row : partial)
+            if (row.workload == victim && !row.allOk())
+                victim_failed = true;
+        ASSERT_TRUE(victim_failed) << "hook did not bite";
+    }
+
+    // Stage the manifest where this process's next journaled runSuite()
+    // will look (invocation-order suffixing), then resume.
+    {
+        std::ifstream in(base, std::ios::binary);
+        ASSERT_TRUE(in.good()) << "journal was not written";
+        std::ofstream out(base + ".1", std::ios::binary);
+        out << in.rdbuf();
+    }
+    EnvGuard resume("RMCC_SUITE_RESUME", "1");
+    const std::vector<sim::SuiteRow> resumed = sim::runSuite(configs);
+
+    ASSERT_EQ(resumed.size(), reference.size());
+    for (std::size_t w = 0; w < reference.size(); ++w) {
+        EXPECT_EQ(resumed[w].workload, reference[w].workload);
+        ASSERT_TRUE(resumed[w].allOk()) << resumed[w].workload;
+        ASSERT_EQ(resumed[w].results.size(),
+                  reference[w].results.size());
+        for (std::size_t c = 0; c < reference[w].results.size(); ++c) {
+            const sim::SimResult &a = reference[w].results[c];
+            const sim::SimResult &b = resumed[w].results[c];
+            EXPECT_EQ(b.instructions, a.instructions);
+            EXPECT_EQ(b.elapsed_ns, a.elapsed_ns);
+            EXPECT_EQ(b.stats.all(), a.stats.all())
+                << reference[w].workload << " / " << a.config_label;
+        }
+    }
+    std::remove(base.c_str());
+    std::remove((base + ".1").c_str());
+    std::filesystem::remove_all(dir);
+}
