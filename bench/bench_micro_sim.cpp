@@ -284,14 +284,13 @@ main(int argc, char **argv)
     // scan forced off, measured in the same process so the CI regression
     // gate compares batched-vs-scalar on identical hardware instead of
     // against a runner-dependent absolute number.
-    const char *orig_batch = std::getenv("RMCC_CRYPTO_BATCH");
-    const std::string orig_batch_value = orig_batch ? orig_batch : "";
+    const auto orig_batch = util::envString("RMCC_CRYPTO_BATCH");
     const auto setLegacyPath = [&](bool legacy) {
         if (legacy) {
             forceBatch("off");
             cache::SetAssocCache::setSimdProbes(false);
         } else {
-            forceBatch(orig_batch ? orig_batch_value.c_str() : nullptr);
+            forceBatch(orig_batch ? orig_batch->c_str() : nullptr);
             cache::SetAssocCache::setSimdProbes(
                 crypto::detectCpuFeatures().avx2);
         }
@@ -377,8 +376,7 @@ main(int argc, char **argv)
 
     // --- Crypto kernels: active dispatch, then forced software.
     const crypto::CpuFeatures cpu = crypto::detectCpuFeatures();
-    const char *orig_impl = std::getenv("RMCC_CRYPTO_IMPL");
-    const std::string orig_impl_value = orig_impl ? orig_impl : "";
+    const auto orig_impl = util::envString("RMCC_CRYPTO_IMPL");
     const bool hw_aes = crypto::hwAesActive();
     const bool hw_clmul = crypto::hwClmulActive();
     const bool batch_aes = crypto::batchAesActive();
@@ -391,7 +389,7 @@ main(int argc, char **argv)
     const double aes_sw = aesBlocksPerSec();
     const double clmul_sw = clmulOpsPerSec();
     if (orig_impl)
-        setenv("RMCC_CRYPTO_IMPL", orig_impl_value.c_str(), 1);
+        setenv("RMCC_CRYPTO_IMPL", orig_impl->c_str(), 1);
     else
         unsetenv("RMCC_CRYPTO_IMPL");
     crypto::reresolveCryptoDispatch();

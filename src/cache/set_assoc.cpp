@@ -123,6 +123,7 @@ SetAssocCache::SetAssocCache(std::string name, std::uint64_t size_bytes,
     filled_.assign(sets_count_, 0);
 }
 
+// rmcc-lint: hot-path
 int
 SetAssocCache::findWay(std::uint64_t set, addr::Addr tag) const
 {
@@ -141,6 +142,7 @@ SetAssocCache::findWay(std::uint64_t set, addr::Addr tag) const
     return -1;
 }
 
+// rmcc-lint: hot-path
 unsigned
 SetAssocCache::victimWay(std::uint64_t set) const
 {

@@ -167,6 +167,7 @@ aesEncryptHw(const std::uint8_t *round_key_bytes, int rounds,
     return out;
 }
 
+// rmcc-lint: hot-path
 __attribute__((target("aes,sse2"))) void
 aesEncryptHwBatch(const std::uint8_t *round_key_bytes, int rounds,
                   const Block128 *in, Block128 *out, std::size_t n)
@@ -290,6 +291,7 @@ clmulPairHw(const Block128 &pa, const Block128 &pb, U256 &po)
 
 } // namespace
 
+// rmcc-lint: hot-path
 __attribute__((target("pclmul,sse2"))) void
 clmul128HwBatch(const Block128 *a, const Block128 *b, U256 *out,
                 std::size_t n)

@@ -198,6 +198,7 @@ SecureMc::chargeReadUpdate(unsigned level, std::uint64_t entity,
     touchCounterBlock(level, entity / meta_[level].coverage, true, now_ns);
 }
 
+// rmcc-lint: hot-path
 McReadResult
 SecureMc::read(addr::Addr paddr, double now_ns)
 {

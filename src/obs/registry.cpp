@@ -2,15 +2,15 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 
 #include "util/env.hpp"
 #include "util/log.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rmcc::obs
@@ -58,8 +58,8 @@ obsConfigFromEnv()
     cfg.mode = mode == "full"     ? ObsMode::Full
                : mode == "epochs" ? ObsMode::Epochs
                                   : ObsMode::Off;
-    if (const char *dir = std::getenv("RMCC_OBS_DIR"); dir && *dir)
-        cfg.dir = dir;
+    if (const auto dir = util::envString("RMCC_OBS_DIR"))
+        cfg.dir = *dir;
     if (const auto v = util::envPositive("RMCC_OBS_EPOCH_RECORDS"))
         cfg.epoch_records = *v;
     if (const auto v = util::envPositive("RMCC_OBS_MAX_EPOCHS"))
@@ -355,7 +355,7 @@ Session::instant(InstantKind k, const std::string &detail)
         return;
     const auto idx = static_cast<std::size_t>(k);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (++instant_counts_[idx] > kInstantTraceCap)
             return;
     }
@@ -368,7 +368,7 @@ Session::instant(InstantKind k, const std::string &detail)
 void
 Session::flushTrace()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!trace_ || trace_flushed_ || trace_->size() == 0)
         return;
     trace_flushed_ = true;
@@ -382,11 +382,11 @@ Session::flushTrace()
 namespace
 {
 
-std::mutex g_session_mutex;
-std::unique_ptr<Session> g_session; // under g_session_mutex
+util::Mutex g_session_mutex;
+std::unique_ptr<Session> g_session RMCC_GUARDED_BY(g_session_mutex);
 
 Session &
-sessionLocked()
+sessionLocked() RMCC_REQUIRES(g_session_mutex)
 {
     if (!g_session)
         g_session = std::make_unique<Session>(obsConfigFromEnv());
@@ -398,7 +398,7 @@ struct SessionFlusher
 {
     ~SessionFlusher()
     {
-        std::lock_guard<std::mutex> lock(g_session_mutex);
+        util::MutexLock lock(g_session_mutex);
         g_session.reset();
     }
 } g_session_flusher;
@@ -408,21 +408,21 @@ struct SessionFlusher
 Session &
 session()
 {
-    std::lock_guard<std::mutex> lock(g_session_mutex);
+    util::MutexLock lock(g_session_mutex);
     return sessionLocked();
 }
 
 void
 reresolveObs()
 {
-    std::lock_guard<std::mutex> lock(g_session_mutex);
+    util::MutexLock lock(g_session_mutex);
     g_session.reset(); // dtor flushes any pending trace
 }
 
 std::unique_ptr<Registry>
 makeRunRegistry(const std::string &cell)
 {
-    std::lock_guard<std::mutex> lock(g_session_mutex);
+    util::MutexLock lock(g_session_mutex);
     Session &s = sessionLocked();
     if (s.config().mode == ObsMode::Off)
         return nullptr;
@@ -432,7 +432,7 @@ makeRunRegistry(const std::string &cell)
 void
 instantGlobal(InstantKind k, const std::string &detail)
 {
-    std::lock_guard<std::mutex> lock(g_session_mutex);
+    util::MutexLock lock(g_session_mutex);
     Session &s = sessionLocked();
     if (s.config().mode != ObsMode::Full)
         return;

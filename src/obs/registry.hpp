@@ -33,12 +33,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/histogram.hpp"
 #include "obs/trace_writer.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rmcc::obs
 {
@@ -256,12 +257,13 @@ class Session
     void flushTrace();
 
   private:
-    ObsConfig cfg_;
-    std::unique_ptr<TraceWriter> trace_;
-    std::uint64_t
-        instant_counts_[static_cast<std::size_t>(InstantKind::kCount)] = {};
-    std::mutex mutex_;
-    bool trace_flushed_ = false;
+    ObsConfig cfg_;                      //!< Const after construction.
+    std::unique_ptr<TraceWriter> trace_; //!< Const after construction;
+                                         //!< TraceWriter locks internally.
+    util::Mutex mutex_;
+    std::uint64_t instant_counts_[static_cast<std::size_t>(
+        InstantKind::kCount)] RMCC_GUARDED_BY(mutex_) = {};
+    bool trace_flushed_ RMCC_GUARDED_BY(mutex_) = false;
 };
 
 /**

@@ -27,7 +27,7 @@ TraceWriter::nowUs() const
 void
 TraceWriter::push(Event e)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (events_.size() >= max_events_) {
         ++dropped_;
         return;
@@ -52,14 +52,14 @@ TraceWriter::instant(const std::string &name, int tid,
 std::size_t
 TraceWriter::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return events_.size();
 }
 
 std::uint64_t
 TraceWriter::dropped() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return dropped_;
 }
 
@@ -91,7 +91,7 @@ TraceWriter::jsonEscape(const std::string &s)
 bool
 TraceWriter::writeJson(const std::string &path) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     std::ofstream f(path);
     if (!f) {
         util::warn("obs: cannot write trace file %s", path.c_str());

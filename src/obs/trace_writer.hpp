@@ -19,9 +19,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rmcc::obs
 {
@@ -78,11 +80,11 @@ class TraceWriter
 
     void push(Event e);
 
-    mutable std::mutex mutex_;
-    std::vector<Event> events_;
-    std::size_t max_events_;
-    std::uint64_t dropped_ = 0;
-    std::chrono::steady_clock::time_point t0_;
+    mutable util::Mutex mutex_;
+    std::vector<Event> events_ RMCC_GUARDED_BY(mutex_);
+    std::uint64_t dropped_ RMCC_GUARDED_BY(mutex_) = 0;
+    std::size_t max_events_;                  //!< Const after construction.
+    std::chrono::steady_clock::time_point t0_; //!< Const after construction.
 };
 
 } // namespace rmcc::obs

@@ -402,8 +402,8 @@ rmccConfig(SimMode mode)
 void
 applyFastEnv(std::vector<NamedConfig> &configs)
 {
-    const char *fast = std::getenv("RMCC_FAST");
-    if (!fast || fast[0] == '\0' || fast[0] == '0')
+    const auto fast = util::envString("RMCC_FAST");
+    if (!fast || (*fast)[0] == '0')
         return;
     for (NamedConfig &nc : configs) {
         nc.cfg.trace_records /= 8;

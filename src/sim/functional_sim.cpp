@@ -14,6 +14,7 @@ runFunctional(const std::string &workload_name,
     return runFunctional(workload_name, trace, cfg, nullptr);
 }
 
+// rmcc-lint: hot-path
 SimResult
 runFunctional(const std::string &workload_name,
               const trace::TraceSource &trace, const SystemConfig &cfg,

@@ -215,15 +215,15 @@ SuiteJournal::SuiteJournal(std::string path, std::uint64_t seed,
 std::unique_ptr<SuiteJournal>
 SuiteJournal::openFromEnv(const std::vector<NamedConfig> &configs)
 {
-    const char *env = std::getenv("RMCC_SUITE_JOURNAL");
-    if (!env || !*env)
+    const auto env = util::envString("RMCC_SUITE_JOURNAL");
+    if (!env)
         return nullptr;
 
     // One manifest per runSuite() invocation: a multi-suite bench gets
     // base, base.1, base.2... matched by invocation order on resume.
     static std::atomic<unsigned> invocation{0};
     const unsigned n = invocation.fetch_add(1);
-    std::string path = env;
+    std::string path = *env;
     if (n > 0)
         path += "." + std::to_string(n);
 
@@ -243,7 +243,7 @@ SuiteJournal::openAt(std::string path,
         std::move(path), seed, records, configSignature(configs)));
 
     if (resume) {
-        std::lock_guard<std::mutex> lk(j->mu_);
+        util::MutexLock lk(j->mu_);
         if (!j->loadLocked())
             j->cells_.clear(); // stale/corrupt/foreign: start fresh
         j->resumed_ = j->cells_.size();
@@ -372,7 +372,7 @@ bool
 SuiteJournal::lookup(const std::string &workload, const std::string &label,
                      SimResult &result, CellStatus &status) const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     const auto it = cells_.find({workload, label});
     if (it == cells_.end())
         return false;
@@ -395,7 +395,7 @@ bool
 SuiteJournal::workloadComplete(const std::string &workload,
                                const std::vector<NamedConfig> &configs) const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     for (const NamedConfig &nc : configs)
         if (cells_.find({workload, nc.label}) == cells_.end())
             return false;
@@ -415,7 +415,7 @@ SuiteJournal::record(const std::string &workload, const std::string &label,
     e.elapsed_ns = result.elapsed_ns;
     const auto all = result.stats.all();
     e.stats.assign(all.begin(), all.end());
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     cells_[{workload, label}] = std::move(e);
     saveLocked();
 }
@@ -423,8 +423,18 @@ SuiteJournal::record(const std::string &workload, const std::string &label,
 std::size_t
 SuiteJournal::size() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     return cells_.size();
+}
+
+std::size_t
+SuiteJournal::resumed() const
+{
+    // resumed_ is written once in openAt() before the journal is shared,
+    // but it lives under mu_ like the rest of the manifest state — take
+    // the lock so the discipline is uniform and provable.
+    util::MutexLock lk(mu_);
+    return resumed_;
 }
 
 } // namespace rmcc::sim

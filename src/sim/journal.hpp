@@ -25,11 +25,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sim/experiments.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rmcc::sim
 {
@@ -96,7 +97,7 @@ class SuiteJournal
     const std::string &path() const { return path_; }
 
     /** Cells restored from a prior run by openFromEnv(). */
-    std::size_t resumed() const { return resumed_; }
+    std::size_t resumed() const;
 
   private:
     struct Entry
@@ -111,17 +112,18 @@ class SuiteJournal
     SuiteJournal(std::string path, std::uint64_t seed,
                  std::uint64_t trace_records, std::uint64_t config_sig);
 
-    bool loadLocked();
-    void saveLocked() const;
-    std::string serializeBodyLocked() const;
+    bool loadLocked() RMCC_REQUIRES(mu_);
+    void saveLocked() const RMCC_REQUIRES(mu_);
+    std::string serializeBodyLocked() const RMCC_REQUIRES(mu_);
 
     std::string path_;
     std::uint64_t seed_ = 0;
     std::uint64_t trace_records_ = 0;
     std::uint64_t config_sig_ = 0;
-    std::size_t resumed_ = 0;
-    mutable std::mutex mu_;
-    std::map<std::pair<std::string, std::string>, Entry> cells_;
+    mutable util::Mutex mu_;
+    std::size_t resumed_ RMCC_GUARDED_BY(mu_) = 0;
+    std::map<std::pair<std::string, std::string>, Entry>
+        cells_ RMCC_GUARDED_BY(mu_);
 };
 
 // --- graceful shutdown latch ---------------------------------------------

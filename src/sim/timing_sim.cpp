@@ -7,6 +7,7 @@
 namespace rmcc::sim
 {
 
+// rmcc-lint: hot-path
 SimResult
 runTiming(const std::string &workload_name,
           const trace::TraceSource &trace, const SystemConfig &cfg)

@@ -81,8 +81,7 @@ spillConfigFromEnv()
     sc.mode = mode == "on"    ? SpillConfig::Mode::On
               : mode == "auto" ? SpillConfig::Mode::Auto
                                : SpillConfig::Mode::Off;
-    const char *dir = std::getenv("RMCC_TRACE_DIR");
-    sc.dir = (dir != nullptr && *dir != '\0') ? dir : "/tmp/rmcc_traces";
+    sc.dir = util::envStringOr("RMCC_TRACE_DIR", "/tmp/rmcc_traces");
     if (const auto w = util::envPositive("RMCC_TRACE_WINDOW_RECORDS"))
         sc.window_records = *w;
     if (const auto t = util::envPositive("RMCC_TRACE_SPILL_THRESHOLD"))
@@ -142,7 +141,7 @@ TraceFileWriter::TraceFileWriter(std::string path, std::uint64_t capacity,
 TraceFileWriter::~TraceFileWriter()
 {
     {
-        std::unique_lock<std::mutex> lk(mu_);
+        util::MutexLock lk(mu_);
         stop_ = true;
         cv_.notify_all();
     }
@@ -194,10 +193,12 @@ TraceFileWriter::flushChunk()
 {
     if (active_.empty())
         return;
-    std::unique_lock<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     // Double buffering: wait until the background thread has drained the
     // previous chunk, then swap ours in.
-    cv_.wait(lk, [this] { return !pending_valid_ || !io_error_.empty(); });
+    cv_.wait(lk, [this]() RMCC_REQUIRES(mu_) {
+        return !pending_valid_ || !io_error_.empty();
+    });
     if (!io_error_.empty())
         throw std::runtime_error("trace file: background write to '" +
                                  tmp_path_ + "' failed: " + io_error_);
@@ -213,8 +214,10 @@ TraceFileWriter::writerLoop()
     std::vector<Record> chunk;
     for (;;) {
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            cv_.wait(lk, [this] { return pending_valid_ || stop_; });
+            util::MutexLock lk(mu_);
+            cv_.wait(lk, [this]() RMCC_REQUIRES(mu_) {
+                return pending_valid_ || stop_;
+            });
             if (!pending_valid_ && stop_)
                 return;
             chunk.swap(pending_);
@@ -225,12 +228,12 @@ TraceFileWriter::writerLoop()
         try {
             writeAll(fd_, chunk.data(), bytes, tmp_path_);
         } catch (const std::exception &e) {
-            std::unique_lock<std::mutex> lk(mu_);
+            util::MutexLock lk(mu_);
             io_error_ = e.what();
             cv_.notify_all();
             return;
         }
-        std::unique_lock<std::mutex> lk(mu_);
+        util::MutexLock lk(mu_);
         bytes_written_ += bytes;
         chunk_checksums_.push_back(fnv1aBytes(chunk.data(), bytes));
         chunk.clear();
@@ -240,7 +243,7 @@ TraceFileWriter::writerLoop()
 void
 TraceFileWriter::throwIfIoFailed()
 {
-    std::unique_lock<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     if (!io_error_.empty())
         throw std::runtime_error("trace file: background write to '" +
                                  tmp_path_ + "' failed: " + io_error_);
@@ -253,8 +256,8 @@ TraceFileWriter::finalize()
         return;
     flushChunk(); // hand the partial tail chunk to the writer
     {
-        std::unique_lock<std::mutex> lk(mu_);
-        cv_.wait(lk, [this] {
+        util::MutexLock lk(mu_);
+        cv_.wait(lk, [this]() RMCC_REQUIRES(mu_) {
             return (!pending_valid_) || !io_error_.empty();
         });
         stop_ = true;
@@ -264,13 +267,20 @@ TraceFileWriter::finalize()
     throwIfIoFailed();
 
     // Checksum index: one FNV-1a per chunk, then a checksum over the
-    // index itself, so the reader can localize corruption.
-    const std::size_t index_bytes =
-        chunk_checksums_.size() * sizeof(std::uint64_t);
-    writeAll(fd_, chunk_checksums_.data(), index_bytes, tmp_path_);
-    const std::uint64_t index_sum =
-        fnv1aBytes(chunk_checksums_.data(), index_bytes);
-    writeAll(fd_, &index_sum, sizeof index_sum, tmp_path_);
+    // index itself, so the reader can localize corruption.  The writer
+    // thread is joined, but chunk_checksums_ is lock-protected state —
+    // take mu_ so the discipline is uniform (and provable to the
+    // thread-safety analysis) rather than relying on the join barrier.
+    std::size_t n_chunks = 0;
+    {
+        util::MutexLock lk(mu_);
+        n_chunks = chunk_checksums_.size();
+        const std::size_t index_bytes = n_chunks * sizeof(std::uint64_t);
+        writeAll(fd_, chunk_checksums_.data(), index_bytes, tmp_path_);
+        const std::uint64_t index_sum =
+            fnv1aBytes(chunk_checksums_.data(), index_bytes);
+        writeAll(fd_, &index_sum, sizeof index_sum, tmp_path_);
+    }
 
     FileHeader h{};
     std::memcpy(h.magic, kTraceMagic, sizeof h.magic);
@@ -302,8 +312,7 @@ TraceFileWriter::finalize()
     util::logDebug("trace file: finalized %s (%llu records, %llu chunks)",
                    path_.c_str(),
                    static_cast<unsigned long long>(count_),
-                   static_cast<unsigned long long>(
-                       chunk_checksums_.size()));
+                   static_cast<unsigned long long>(n_chunks));
 }
 
 } // namespace rmcc::trace

@@ -29,15 +29,15 @@
 #ifndef RMCC_TRACE_TRACE_FILE_HPP
 #define RMCC_TRACE_TRACE_FILE_HPP
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "trace/block_set.hpp"
 #include "trace/trace_source.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rmcc::trace
 {
@@ -180,9 +180,12 @@ class TraceFileWriter final : public TraceSink
     void writerLoop();
     void throwIfIoFailed();
 
+    // Generation-thread-only state: touched by append()/finalize() and
+    // the ctor/dtor, never by the background writer.
     std::string path_;
     std::string tmp_path_;
-    int fd_ = -1;
+    int fd_ = -1; //!< Written by the writer thread only between
+                  //!< ctor and join() (writeAll), owned here otherwise.
     std::uint64_t capacity_;
     std::uint64_t fingerprint_;
     std::uint64_t chunk_records_;
@@ -191,20 +194,20 @@ class TraceFileWriter final : public TraceSink
     std::uint64_t writes_ = 0;
     std::uint64_t dropped_ = 0;
     BlockSet distinct_;
-    std::vector<std::uint64_t> chunk_checksums_;
     bool finalized_ = false;
 
     // Double buffering: generation fills active_, the background thread
     // drains pending_.  A single pending slot is enough — generation
     // blocks only when it outruns the disk by a full chunk.
-    std::vector<Record> active_;
-    std::vector<Record> pending_;
-    bool pending_valid_ = false;
-    bool stop_ = false;
-    std::string io_error_;
-    std::uint64_t bytes_written_ = 0;
-    std::mutex mu_;
-    std::condition_variable cv_;
+    std::vector<Record> active_; //!< Generation-thread-only.
+    util::Mutex mu_;
+    util::CondVar cv_;
+    std::vector<Record> pending_ RMCC_GUARDED_BY(mu_);
+    bool pending_valid_ RMCC_GUARDED_BY(mu_) = false;
+    bool stop_ RMCC_GUARDED_BY(mu_) = false;
+    std::string io_error_ RMCC_GUARDED_BY(mu_);
+    std::uint64_t bytes_written_ RMCC_GUARDED_BY(mu_) = 0;
+    std::vector<std::uint64_t> chunk_checksums_ RMCC_GUARDED_BY(mu_);
     std::thread writer_;
 };
 

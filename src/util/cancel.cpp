@@ -14,6 +14,9 @@ struct ScopeState
     bool active = false;
 };
 
+//! One scope per thread, never shared: no lock, nothing for the
+//! thread-safety analysis to track (only the atomic flag crosses
+//! threads).
 thread_local ScopeState tls_scope;
 
 } // namespace

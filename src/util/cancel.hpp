@@ -12,6 +12,13 @@
  * failure path.  With no scope installed, pollCancel() is a thread-local
  * load and a predicted branch, so bit-identity and replay throughput are
  * untouched.
+ *
+ * Thread-safety audit (see docs/STATIC_ANALYSIS.md): this module is
+ * deliberately mutex-free.  All scope state is thread_local — one
+ * ScopeState per thread, never shared — so there is nothing for
+ * RMCC_GUARDED_BY to guard; the only cross-thread communication is the
+ * external abort flag, which is a std::atomic<bool> read with relaxed
+ * ordering (the flag is a latch, not a synchronization edge).
  */
 #ifndef RMCC_UTIL_CANCEL_HPP
 #define RMCC_UTIL_CANCEL_HPP

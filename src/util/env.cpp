@@ -77,4 +77,19 @@ envChoice(const char *name, const std::vector<std::string> &choices,
     rejectValue(name, value, expected.c_str());
 }
 
+std::optional<std::string>
+envString(const char *name)
+{
+    const char *value = std::getenv(name);
+    if (!value || value[0] == '\0')
+        return std::nullopt;
+    return std::string(value);
+}
+
+std::string
+envStringOr(const char *name, const std::string &fallback)
+{
+    return envString(name).value_or(fallback);
+}
+
 } // namespace rmcc::util

@@ -54,6 +54,18 @@ std::string envChoice(const char *name,
                       const std::vector<std::string> &choices,
                       const std::string &fallback);
 
+/**
+ * Value of a free-form string environment variable (paths, labels).
+ *
+ * @return nullopt when the variable is unset or empty — the two cases
+ *         are deliberately identical, matching every other accessor
+ *         here, so `RMCC_TRACE_DIR= ./run` behaves like unset.
+ */
+std::optional<std::string> envString(const char *name);
+
+/** envString() with a fallback for the unset/empty case. */
+std::string envStringOr(const char *name, const std::string &fallback);
+
 } // namespace rmcc::util
 
 #endif // RMCC_UTIL_ENV_HPP

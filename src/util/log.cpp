@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/env.hpp"
+
 namespace rmcc::util
 {
 
@@ -43,11 +45,11 @@ logLevel()
     int lvl = g_level.load(std::memory_order_relaxed);
     if (lvl >= 0)
         return static_cast<LogLevel>(lvl);
-    const char *s = std::getenv("RMCC_LOG_LEVEL");
+    const auto s = envString("RMCC_LOG_LEVEL");
     LogLevel resolved = LogLevel::Info;
-    if (s && *s) {
+    if (s) {
         try {
-            resolved = logLevelFromString(s);
+            resolved = logLevelFromString(s->c_str());
         } catch (const std::exception &e) {
             // fatal, not throw: logLevel() runs from destructors and
             // noexcept contexts where an escaping exception would abort

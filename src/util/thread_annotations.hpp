@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis macros for the RMCC concurrency surface.
+ *
+ * Under Clang each macro expands to the corresponding
+ * `__attribute__((...))` so `-Wthread-safety` (promoted to an error in
+ * the static-analysis CI job) proves lock discipline at compile time:
+ * every access to an RMCC_GUARDED_BY member must happen with its
+ * capability held, and every function marked RMCC_REQUIRES can only be
+ * called with the lock already taken.  Under any other compiler the
+ * macros expand to nothing, so GCC builds (the default container
+ * toolchain) are unaffected.
+ *
+ * libstdc++'s std::mutex carries no such attributes, so the analysis
+ * only works through the annotated wrappers in util/mutex.hpp
+ * (util::Mutex / util::MutexLock).  New mutex-protected state should use
+ * those wrappers and annotate each protected member with
+ * RMCC_GUARDED_BY(mu_); see docs/STATIC_ANALYSIS.md for the recipe.
+ */
+#ifndef RMCC_UTIL_THREAD_ANNOTATIONS_HPP
+#define RMCC_UTIL_THREAD_ANNOTATIONS_HPP
+
+#if defined(__clang__)
+#define RMCC_THREAD_ATTR(x) __attribute__((x))
+#else
+#define RMCC_THREAD_ATTR(x)
+#endif
+
+//! Marks a type as a lockable capability (mutexes).
+#define RMCC_CAPABILITY(x) RMCC_THREAD_ATTR(capability(x))
+
+//! Marks an RAII type whose lifetime acquires/releases a capability.
+#define RMCC_SCOPED_CAPABILITY RMCC_THREAD_ATTR(scoped_lockable)
+
+//! Data member readable/writable only with the named capability held.
+#define RMCC_GUARDED_BY(x) RMCC_THREAD_ATTR(guarded_by(x))
+
+//! Pointer member whose pointee is protected by the named capability.
+#define RMCC_PT_GUARDED_BY(x) RMCC_THREAD_ATTR(pt_guarded_by(x))
+
+//! Function acquires the capability (must not already hold it).
+#define RMCC_ACQUIRE(...) RMCC_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+
+//! Function releases the capability (must hold it on entry).
+#define RMCC_RELEASE(...) RMCC_THREAD_ATTR(release_capability(__VA_ARGS__))
+
+//! Function may acquire the capability; first arg is the success value.
+#define RMCC_TRY_ACQUIRE(...) \
+    RMCC_THREAD_ATTR(try_acquire_capability(__VA_ARGS__))
+
+//! Caller must hold the capability for the duration of the call.
+#define RMCC_REQUIRES(...) \
+    RMCC_THREAD_ATTR(requires_capability(__VA_ARGS__))
+
+//! Caller must NOT hold the capability (deadlock prevention).
+#define RMCC_EXCLUDES(...) RMCC_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+
+//! Runtime assertion that the capability is held (no acquire/release).
+#define RMCC_ASSERT_CAPABILITY(x) RMCC_THREAD_ATTR(assert_capability(x))
+
+//! Function returns a reference to the named capability.
+#define RMCC_RETURN_CAPABILITY(x) RMCC_THREAD_ATTR(lock_returned(x))
+
+//! Opt a function out of the analysis entirely (document why at use).
+#define RMCC_NO_THREAD_SAFETY_ANALYSIS \
+    RMCC_THREAD_ATTR(no_thread_safety_analysis)
+
+#endif // RMCC_UTIL_THREAD_ANNOTATIONS_HPP

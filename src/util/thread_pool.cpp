@@ -33,7 +33,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -45,7 +45,7 @@ void
 ThreadPool::submit(std::function<void()> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         queue_.push_back(std::move(job));
         ++in_flight_;
     }
@@ -55,8 +55,9 @@ ThreadPool::submit(std::function<void()> job)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this]() RMCC_REQUIRES(mutex_) { return in_flight_ == 0; });
     if (!errors_.empty()) {
         std::exception_ptr first = errors_.front();
         errors_.erase(errors_.begin());
@@ -68,14 +69,15 @@ ThreadPool::wait()
 void
 ThreadPool::waitAll()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this]() RMCC_REQUIRES(mutex_) { return in_flight_ == 0; });
 }
 
 std::vector<std::exception_ptr>
 ThreadPool::takeErrors()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return std::exchange(errors_, {});
 }
 
@@ -85,9 +87,10 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock,
-                          [this] { return stop_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            work_cv_.wait(lock, [this]() RMCC_REQUIRES(mutex_) {
+                return stop_ || !queue_.empty();
+            });
             if (queue_.empty())
                 return; // stop_ set and nothing left to drain
             job = std::move(queue_.front());
@@ -96,11 +99,11 @@ ThreadPool::workerLoop()
         try {
             job();
         } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             errors_.push_back(std::current_exception());
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (--in_flight_ == 0)
                 idle_cv_.notify_all();
         }

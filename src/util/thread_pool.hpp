@@ -13,14 +13,15 @@
 #ifndef RMCC_UTIL_THREAD_POOL_HPP
 #define RMCC_UTIL_THREAD_POOL_HPP
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rmcc::util
 {
@@ -90,14 +91,16 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable work_cv_;
-    std::condition_variable idle_cv_;
-    std::size_t in_flight_ = 0; //!< Jobs queued or currently running.
-    bool stop_ = false;
-    std::vector<std::exception_ptr> errors_; //!< All captured job errors.
+    std::vector<std::thread> workers_; //!< Main-thread-only after ctor.
+    Mutex mutex_;
+    CondVar work_cv_;
+    CondVar idle_cv_;
+    std::deque<std::function<void()>> queue_ RMCC_GUARDED_BY(mutex_);
+    //! Jobs queued or currently running.
+    std::size_t in_flight_ RMCC_GUARDED_BY(mutex_) = 0;
+    bool stop_ RMCC_GUARDED_BY(mutex_) = false;
+    //! All captured job errors.
+    std::vector<std::exception_ptr> errors_ RMCC_GUARDED_BY(mutex_);
 };
 
 /**

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -217,8 +218,8 @@ Graph
 Graph::powerLawCached(std::uint64_t vertices, std::uint64_t edges,
                       double zipf_exponent, std::uint64_t seed)
 {
-    const char *toggle = std::getenv("RMCC_GRAPH_CACHE");
-    if (toggle && std::string(toggle) == "0")
+    const auto toggle = util::envString("RMCC_GRAPH_CACHE");
+    if (toggle && *toggle == "0")
         return powerLaw(vertices, edges, zipf_exponent, seed);
 
     std::uint64_t zipf_bits = 0;
@@ -228,9 +229,9 @@ Graph::powerLawCached(std::uint64_t vertices, std::uint64_t edges,
     CacheHeader want{kCacheMagic, kCacheVersion, vertices, edges,
                      zipf_bits,   seed,          edges,    0};
 
-    const char *dir = std::getenv("RMCC_GRAPH_CACHE_DIR");
-    std::string path = (dir && *dir) ? dir : "/tmp";
-    if (dir && *dir) {
+    const auto dir = util::envString("RMCC_GRAPH_CACHE_DIR");
+    std::string path = dir ? *dir : "/tmp";
+    if (dir) {
         std::error_code ec;
         if (!std::filesystem::is_directory(path, ec)) {
             // The cache is an optimization, so a bad directory must not

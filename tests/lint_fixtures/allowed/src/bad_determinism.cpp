@@ -1,0 +1,15 @@
+// rule(determinism) violations suppressed by allow escapes.  Each
+// banned token shares a line with its escape — allow() is line-scoped.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned
+entropySoup()
+{
+    std::srand(1u);                           // rmcc-lint: allow(determinism)
+    const std::time_t t = std::time(nullptr); // rmcc-lint: allow(determinism)
+    std::random_device rd;                    // rmcc-lint: allow(determinism)
+    const unsigned r = std::rand();           // rmcc-lint: allow(determinism)
+    return r + static_cast<unsigned>(t) + rd();
+}

@@ -1,0 +1,8 @@
+// rule(env-docs) violation suppressed by an allow escape.
+#include <string>
+
+std::string
+undocumentedKnobName()
+{
+    return "RMCC_NOT_IN_DOCS"; // rmcc-lint: allow(env-docs)
+}

@@ -1,0 +1,8 @@
+// rule(getenv) violation suppressed by an allow escape.
+#include <cstdlib>
+
+const char *
+readKnob()
+{
+    return std::getenv("RMCC_FIXTURE_OK"); // rmcc-lint: allow(getenv)
+}

@@ -1,0 +1,15 @@
+// rule(hot-path) violations suppressed by allow escapes.
+#include <iostream>
+#include <string>
+
+// rmcc-lint: hot-path
+int
+hotLoop(int n)
+{
+    int *scratch = new int[8];      // rmcc-lint: allow(hot-path)
+    std::string label = "hot";      // rmcc-lint: allow(hot-path)
+    std::cout << label << n;        // rmcc-lint: allow(hot-path)
+    int r = scratch[0];
+    delete[] scratch;
+    return r;
+}

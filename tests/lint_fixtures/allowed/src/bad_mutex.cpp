@@ -1,0 +1,16 @@
+// rule(mutex-guard) violations suppressed by allow escapes.
+#include <mutex>
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        std::lock_guard<std::mutex> lk(mu_); // rmcc-lint: allow(mutex-guard)
+        ++n_;
+    }
+
+  private:
+    std::mutex mu_; // rmcc-lint: allow(mutex-guard)
+    long n_ = 0;
+};

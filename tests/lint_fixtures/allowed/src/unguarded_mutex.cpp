@@ -1,0 +1,13 @@
+// File-level rule(mutex-guard) finding (util::Mutex with no
+// RMCC_GUARDED_BY) suppressed by an allow escape on the first
+// util::Mutex line.
+namespace rmcc::util
+{
+class Mutex;
+}
+
+struct Registry
+{
+    rmcc::util::Mutex *mu_unused; // rmcc-lint: allow(mutex-guard)
+    long value = 0;
+};

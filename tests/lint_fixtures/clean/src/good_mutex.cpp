@@ -1,0 +1,13 @@
+// A util::Mutex paired with RMCC_GUARDED_BY state: no finding.
+#define RMCC_GUARDED_BY(x)
+
+namespace rmcc::util
+{
+class Mutex;
+}
+
+struct Guarded
+{
+    rmcc::util::Mutex *mu;
+    long value RMCC_GUARDED_BY(mu) = 0;
+};

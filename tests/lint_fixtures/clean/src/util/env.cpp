@@ -1,0 +1,8 @@
+// The one sanctioned home for raw std::getenv in a scanned tree.
+#include <cstdlib>
+
+const char *
+cleanKnob()
+{
+    return std::getenv("RMCC_CLEAN_VAR");
+}

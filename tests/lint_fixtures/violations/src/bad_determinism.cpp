@@ -1,0 +1,12 @@
+// Violates rule(determinism): unseeded randomness and wall clock.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned
+entropySoup()
+{
+    std::srand(static_cast<unsigned>(std::time(nullptr)));
+    std::random_device rd;
+    return static_cast<unsigned>(std::rand()) + rd();
+}

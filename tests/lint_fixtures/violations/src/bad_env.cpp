@@ -1,0 +1,8 @@
+// Violates rule(env-docs): names an RMCC_* variable no doc mentions.
+#include <string>
+
+std::string
+undocumentedKnobName()
+{
+    return "RMCC_NOT_IN_DOCS";
+}

@@ -1,0 +1,8 @@
+// Violates rule(getenv): raw std::getenv outside src/util/env.cpp.
+#include <cstdlib>
+
+const char *
+readKnob()
+{
+    return std::getenv("RMCC_FIXTURE_OK");
+}

@@ -1,0 +1,24 @@
+// Violates rule(hot-path): allocation and iostream output inside a
+// function marked hot.  The std::string parameter in the signature of
+// coldHelper() below must NOT fire — only marked bodies are scanned.
+#include <iostream>
+#include <string>
+
+// rmcc-lint: hot-path
+int
+hotLoop(int n)
+{
+    int *scratch = new int[8];
+    std::string label = "hot";
+    std::cout << label << n;
+    int r = scratch[0];
+    delete[] scratch;
+    return r;
+}
+
+int
+coldHelper(const std::string &name)
+{
+    // Unmarked function: std::string here is fine.
+    return static_cast<int>(name.size());
+}

@@ -1,0 +1,17 @@
+// Violates rule(mutex-guard): a naked std::mutex member invisible to
+// the thread-safety analysis.
+#include <mutex>
+
+class Counter
+{
+  public:
+    void bump()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++n_;
+    }
+
+  private:
+    std::mutex mu_;
+    long n_ = 0;
+};

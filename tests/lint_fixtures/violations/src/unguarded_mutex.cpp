@@ -1,0 +1,14 @@
+// Violates rule(mutex-guard) the other way: a util::Mutex exists but
+// no member is RMCC_GUARDED_BY it, so the analysis proves nothing.
+namespace rmcc::util
+{
+class Mutex;
+}
+
+struct Registry
+{
+    rmcc::util::Mutex *mu_unused;
+    long value = 0; // raced: nothing ties it to the mutex
+};
+
+util::Mutex g_lonely_mutex;

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * End-to-end tests for rmcc-lint (tools/lint/rmcc_lint.cpp).
+ *
+ * Drives the installed binary over the real source tree and over the
+ * fixture trees in tests/lint_fixtures/: every rule must fire on the
+ * seeded violations, every allow() escape must suppress it, and the
+ * real tree must scan clean — making lint cleanliness a tier-1
+ * guarantee enforced by ctest, not just by CI.
+ *
+ * RMCC_LINT_BIN / RMCC_LINT_ROOT are compile definitions injected by
+ * tests/CMakeLists.txt.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+struct LintRun
+{
+    int exit_code = -1;
+    std::string output; // stdout only; findings go to stdout
+};
+
+LintRun
+runLint(const std::string &tree)
+{
+    const std::string cmd =
+        std::string(RMCC_LINT_BIN) + " " + tree + " 2>/dev/null";
+    LintRun r;
+    FILE *p = ::popen(cmd.c_str(), "r");
+    if (p == nullptr)
+        return r;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, p)) > 0)
+        r.output.append(buf, n);
+    const int status = ::pclose(p);
+    if (WIFEXITED(status))
+        r.exit_code = WEXITSTATUS(status);
+    return r;
+}
+
+std::string
+fixture(const char *name)
+{
+    return std::string(RMCC_LINT_ROOT) + "/tests/lint_fixtures/" + name;
+}
+
+} // namespace
+
+//! The shipped tree must be lint-clean: rules are invariants, not
+//! aspirations.
+TEST(Lint, RealTreeIsClean)
+{
+    const LintRun r = runLint(RMCC_LINT_ROOT);
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Lint, FixtureCleanPasses)
+{
+    const LintRun r = runLint(fixture("clean"));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+//! Each rule must fire at least once on its seeded violation, and the
+//! process must fail — this is what makes the CI gate demonstrably
+//! capable of rejecting a bad change.
+TEST(Lint, SeededViolationsFailNonzero)
+{
+    const LintRun r = runLint(fixture("violations"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    EXPECT_NE(r.output.find("rule(getenv)"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("rule(determinism)"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("rule(hot-path)"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("rule(mutex-guard)"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("rule(env-docs)"), std::string::npos)
+        << r.output;
+    // Both directions of env-docs: undocumented use and stale docs.
+    EXPECT_NE(r.output.find("RMCC_NOT_IN_DOCS"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("RMCC_STALE_VAR"), std::string::npos)
+        << r.output;
+    // The file-level unguarded-mutex form fires too.
+    EXPECT_NE(r.output.find("unguarded_mutex.cpp"), std::string::npos)
+        << r.output;
+}
+
+//! The same violations with line-scoped allow() escapes scan clean.
+TEST(Lint, AllowSuppressesEveryRule)
+{
+    const LintRun r = runLint(fixture("allowed"));
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+//! A nonexistent root is a usage error (exit 2), distinct from
+//! findings (exit 1) — CI depends on the distinction.
+TEST(Lint, MissingRootIsUsageError)
+{
+    const LintRun r = runLint(fixture("no_such_tree"));
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+}
