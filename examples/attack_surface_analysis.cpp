@@ -4,7 +4,11 @@
  * real crypto, that (1) tampering and replay are detected by the MAC,
  * (2) swapping address and counter cannot reproduce an OTP (type-A
  * repeats), (3) the truncated combine is not invertible by construction
- * (information destroyed), and (4) OTP streams look random to NIST.
+ * (information destroyed), (4) OTP streams look random to NIST, and
+ * (5) multi-tenant sharing adds no integrity surface: per-tenant key
+ * domains never collide, and a hot tenant flooding the shared counter
+ * cache under active fault injection still yields zero silent
+ * corruptions.
  */
 #include <cstdio>
 #include <set>
@@ -12,6 +16,10 @@
 #include "crypto/mac.hpp"
 #include "crypto/nist.hpp"
 #include "crypto/otp.hpp"
+#include "fault/campaign.hpp"
+#include "sim/functional_sim.hpp"
+#include "tenancy/mixer.hpp"
+#include "tenancy/stats.hpp"
 
 using namespace rmcc::crypto;
 
@@ -90,8 +98,97 @@ main()
                     r.pass ? "pass" : "FAIL");
         all_pass &= r.pass;
     }
+    // -- 5. Multi-tenant attack surface --------------------------------
+    // 5a. Key-domain separation: two tenants encrypting the SAME
+    // (address, counter) must never share an OTP or a MAC pad — the
+    // derived per-domain schedules have to differ from each other and
+    // from the platform keys.
+    namespace rt = rmcc::tenancy;
+    namespace rf = rmcc::fault;
+    namespace rs = rmcc::sim;
+    const std::uint64_t master = 0xfa177;
+    const DomainKeys d0 = deriveDomainKeys(master, 0);
+    const DomainKeys d1 = deriveDomainKeys(master, 1);
+    const RmccOtpEngine otp0(d0.enc, d0.mac), otp1(d1.enc, d1.mac);
+    const RmccOtpEngine platform(Aes::fromSeed(master),
+                                 Aes::fromSeed(master + 0x9e3779b9));
+    bool domains_disjoint = true;
+    for (std::uint64_t a = 0; a < 32; ++a) {
+        const std::uint64_t addr = 0x4000 + 64 * a;
+        domains_disjoint &=
+            otp0.encryptionOtp(addr, 0, 7) != otp1.encryptionOtp(addr, 0, 7) &&
+            otp0.encryptionOtp(addr, 0, 7) !=
+                platform.encryptionOtp(addr, 0, 7) &&
+            otp0.macOtp(addr, 7) != otp1.macOtp(addr, 7);
+    }
+    std::printf("per-tenant key domains disjoint:    %s\n",
+                domains_disjoint ? "yes" : "NO (BUG)");
+
+    // 5b. Hot-tenant storm under injection: tenant 0 floods the shared
+    // counter cache (75% of all draws on top of its Zipf share), evicting
+    // the victims' counter lines from the region that backs their counter
+    // groups, while seeded faults hit data, MACs, counters, tree nodes,
+    // and memo entries.  The oracle — running per-tenant data-plane key
+    // domains along the strict arena boundaries — must classify every
+    // injection detected or masked: cross-tenant contention is a
+    // performance problem, never an integrity one.
+    rt::MixSpec spec;
+    spec.cfg.tenants = 4;
+    spec.cfg.skew = 0.99;
+    spec.cfg.isolation = rt::IsolationMode::Strict;
+    const rmcc::wl::Workload *canneal = rmcc::wl::findWorkload("canneal");
+    const rmcc::wl::Workload *mcf = rmcc::wl::findWorkload("mcf");
+    spec.archetypes = {canneal, mcf};
+    spec.records = 120000;
+    spec.component_records = 60000;
+    spec.seed = 7;
+    spec.storm_share = 0.75;
+    const rt::TenantMix mix = rt::generateMixHandle(spec);
+
+    rs::SystemConfig cfg = rs::SystemConfig::functionalDefault();
+    cfg.rmcc = true;
+    cfg.trace_records = spec.records;
+    cfg.warmup_records = spec.records / 4;
+    // Shrink the CPU caches so this short adversarial trace actually
+    // reaches the controller, and the counter cache so the flood evicts
+    // the victims' counter lines instead of fitting alongside them.
+    cfg.l1 = {16 * 1024, 8, 2.0};
+    cfg.l2 = {32 * 1024, 8, 4.0};
+    cfg.llc = {64 * 1024, 16, 17.0};
+    cfg.counter_cache_bytes = 4096;
+    cfg.tenancy.tenants = spec.cfg.tenants;
+    cfg.tenancy.tag_shift = mix.tag_shift;
+    cfg.tenancy.strict = true;
+
+    rf::FaultPlan plan;
+    plan.injections = 150;
+    plan.gap_records = 64;
+    plan.seed = 0xad5a;
+    rf::OracleConfig ocfg;
+    ocfg.key_domain_shift = rt::keyDomainShift(cfg);
+    rf::FaultCampaign campaign(plan, ocfg);
+    rt::TenantAccountant acct(cfg.tenancy, rt::arenaBlocks(cfg));
+    rs::runFunctional("tenant-storm", mix.handle.source(), cfg, &campaign,
+                      &acct);
+    const rf::FaultStats &fs = campaign.stats();
+    const std::uint64_t victim_misses = acct.tenant(1).counter_misses +
+                                        acct.tenant(2).counter_misses +
+                                        acct.tenant(3).counter_misses;
+    const bool storm_clean = fs.silent() == 0 &&
+                             fs.unexpected_failures == 0 &&
+                             fs.detected() > 0 && victim_misses > 0;
+    std::printf("hot-tenant storm: %llu injected, %llu detected, %llu "
+                "silent; victim counter misses under flood: %llu  %s\n",
+                static_cast<unsigned long long>(fs.injected),
+                static_cast<unsigned long long>(fs.detected()),
+                static_cast<unsigned long long>(fs.silent()),
+                static_cast<unsigned long long>(victim_misses),
+                storm_clean ? "(clean)" : "(BUG)");
+
+
     return tamper_caught && replay_caught && splice_caught &&
-                   !collision && all_pass
+                   !collision && all_pass && domains_disjoint &&
+                   storm_clean
                ? 0
                : 1;
 }

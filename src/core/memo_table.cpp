@@ -13,9 +13,12 @@ MemoTable::MemoTable(const MemoConfig &cfg)
 int
 MemoTable::findGroup(addr::CounterValue v) const
 {
+    // domain is 0 everywhere in the single-domain configuration, so the
+    // extra compare cannot change the legacy result.
     for (std::size_t g = 0; g < groups_.size(); ++g) {
         const Group &grp = groups_[g];
-        if (grp.valid && v >= grp.start && v < grp.start + cfg_.group_size)
+        if (grp.valid && grp.domain == active_ && v >= grp.start &&
+            v < grp.start + cfg_.group_size)
             return static_cast<int>(g);
     }
     return -1;
@@ -26,7 +29,8 @@ MemoTable::findShadow(addr::CounterValue v) const
 {
     for (std::size_t g = 0; g < shadows_.size(); ++g) {
         const Group &grp = shadows_[g];
-        if (grp.valid && v >= grp.start && v < grp.start + cfg_.group_size)
+        if (grp.valid && grp.domain == active_ && v >= grp.start &&
+            v < grp.start + cfg_.group_size)
             return static_cast<int>(g);
     }
     return -1;
@@ -49,10 +53,11 @@ MemoTable::lookupRead(addr::CounterValue v)
     }
     // MRU evicted-group values: an exact-value hit refreshes recency and
     // keeps teaching the covering shadow group's frequency counter.
-    const auto it = std::find(recent_.begin(), recent_.end(), v);
+    const DomainValue dv{v, active_};
+    const auto it = std::find(recent_.begin(), recent_.end(), dv);
     if (it != recent_.end()) {
         recent_.erase(it);
-        recent_.push_front(v);
+        recent_.push_front(dv);
         const int s = findShadow(v);
         if (s >= 0)
             ++shadows_[static_cast<std::size_t>(s)].freq;
@@ -66,7 +71,7 @@ MemoTable::lookupRead(addr::CounterValue v)
     if (s >= 0) {
         ++shadows_[static_cast<std::size_t>(s)].freq;
         if (cfg_.recent_values > 0) {
-            recent_.push_front(v);
+            recent_.push_front(dv);
             if (recent_.size() > cfg_.recent_values)
                 recent_.pop_back();
         }
@@ -79,7 +84,8 @@ bool
 MemoTable::contains(addr::CounterValue v) const
 {
     return inGroups(v) ||
-           std::find(recent_.begin(), recent_.end(), v) != recent_.end();
+           std::find(recent_.begin(), recent_.end(),
+                     DomainValue{v, active_}) != recent_.end();
 }
 
 bool
@@ -93,7 +99,7 @@ MemoTable::nearestAbove(addr::CounterValue v) const
 {
     std::optional<addr::CounterValue> best;
     for (const Group &grp : groups_) {
-        if (!grp.valid)
+        if (!grp.valid || grp.domain != active_)
             continue;
         // Smallest value in this group strictly above v.
         addr::CounterValue candidate;
@@ -114,9 +120,18 @@ MemoTable::maxInTable() const
 {
     addr::CounterValue m = 0;
     for (const Group &grp : groups_)
-        if (grp.valid)
+        if (grp.valid && grp.domain == active_)
             m = std::max(m, grp.start + cfg_.group_size - 1);
     return m;
+}
+
+unsigned
+MemoTable::validGroupsOf(std::uint32_t d) const
+{
+    unsigned n = 0;
+    for (const Group &grp : groups_)
+        n += (grp.valid && grp.domain == d) ? 1 : 0;
+    return n;
 }
 
 unsigned
@@ -131,29 +146,49 @@ MemoTable::validGroups() const
 void
 MemoTable::insertGroup(addr::CounterValue start)
 {
+    // A domain at its quota evicts its own LFU group: the hot tenant
+    // churns its own memoized range instead of taking over the table.
+    const bool quota_bound =
+        cfg_.domains > 1 && cfg_.quota_groups > 0 &&
+        validGroupsOf(active_) >= cfg_.quota_groups;
+
     // Find the LFU victim among current groups (invalid slots first).
     std::size_t victim = 0;
     std::uint64_t best = ~0ULL;
     bool found_invalid = false;
+    bool found_victim = false;
     for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (quota_bound) {
+            if (groups_[g].valid && groups_[g].domain == active_ &&
+                groups_[g].freq < best) {
+                best = groups_[g].freq;
+                victim = g;
+                found_victim = true;
+            }
+            continue;
+        }
         if (!groups_[g].valid) {
             victim = g;
             found_invalid = true;
+            found_victim = true;
             break;
         }
         if (groups_[g].freq < best) {
             best = groups_[g].freq;
             victim = g;
+            found_victim = true;
         }
     }
+    if (!found_victim)
+        return; // quota of zero own groups cannot happen; defensive
     if (!found_invalid && groups_[victim].valid) {
         // Push the evicted group onto the shadow list (LRU shadow drops).
         std::rotate(shadows_.rbegin(), shadows_.rbegin() + 1,
                     shadows_.rend());
         shadows_[0] = groups_[victim];
     }
-    groups_[victim] = {start, 0, true};
-    protected_start_ = start;
+    groups_[victim] = {start, 0, true, active_};
+    protected_start_ = DomainValue{start, active_};
 }
 
 void
@@ -175,12 +210,19 @@ MemoTable::endOfEpoch()
                          return a.freq > b.freq;
                      });
 
+    // Two groups are "the same" only within a domain: tenants may
+    // legitimately memoize the same counter range under different keys.
+    const auto same = [](const Group &a, const Group &b) {
+        return a.start == b.start && a.domain == b.domain;
+    };
+
     std::vector<Group> selected;
     selected.reserve(cfg_.groups);
     if (protected_start_) {
         const auto it = std::find_if(
             pool.begin(), pool.end(), [&](const Group &g) {
-                return g.start == *protected_start_;
+                return g.start == protected_start_->v &&
+                       g.domain == protected_start_->domain;
             });
         if (it != pool.end()) {
             selected.push_back(*it);
@@ -194,7 +236,7 @@ MemoTable::endOfEpoch()
         // re-insertion of an evicted start value).
         const bool dup = std::any_of(
             selected.begin(), selected.end(),
-            [&](const Group &s) { return s.start == g.start; });
+            [&](const Group &s) { return same(s, g); });
         if (!dup)
             selected.push_back(g);
     }
@@ -205,7 +247,7 @@ MemoTable::endOfEpoch()
     for (const Group &g : pool) {
         const bool kept = std::any_of(
             selected.begin(), selected.end(),
-            [&](const Group &s) { return s.start == g.start; });
+            [&](const Group &s) { return same(s, g); });
         if (!kept)
             leftover.push_back(g);
     }
@@ -237,26 +279,28 @@ MemoTable::quarantineValue(addr::CounterValue v)
     const int g = findGroup(v);
     if (g >= 0) {
         Group &grp = groups_[static_cast<std::size_t>(g)];
-        if (protected_start_ && *protected_start_ == grp.start)
+        if (protected_start_ && protected_start_->v == grp.start &&
+            protected_start_->domain == grp.domain)
             protected_start_.reset();
         grp = Group(); // invalidate; no shadow push for a poisoned group
         dropped = true;
     }
-    const auto it = std::find(recent_.begin(), recent_.end(), v);
+    const DomainValue dv{v, active_};
+    const auto it = std::find(recent_.begin(), recent_.end(), dv);
     if (it != recent_.end()) {
         recent_.erase(it);
         dropped = true;
     }
     if (!isQuarantined(v))
-        quarantine_.push_back(v);
+        quarantine_.push_back(dv);
     return dropped;
 }
 
 bool
 MemoTable::isQuarantined(addr::CounterValue v) const
 {
-    return std::find(quarantine_.begin(), quarantine_.end(), v) !=
-           quarantine_.end();
+    return std::find(quarantine_.begin(), quarantine_.end(),
+                     DomainValue{v, active_}) != quarantine_.end();
 }
 
 std::vector<addr::CounterValue>
@@ -277,7 +321,8 @@ MemoTable::memoizedValues() const
         if (g.valid)
             for (unsigned i = 0; i < cfg_.group_size; ++i)
                 out.push_back(g.start + i);
-    out.insert(out.end(), recent_.begin(), recent_.end());
+    for (const DomainValue &r : recent_)
+        out.push_back(r.v);
     return out;
 }
 

@@ -41,6 +41,8 @@ RmccEngine::onReadCounterUse(unsigned level, std::uint64_t idx)
         return out;
 
     LevelState &st = *levels_[level];
+    if (domain_resolver_)
+        st.table->setActiveDomain(domain_resolver_(level, idx));
     ctr::CounterScheme &scheme = tree_.level(level);
     const addr::CounterValue v = scheme.read(idx);
 
@@ -73,8 +75,12 @@ UpdateOutcome
 RmccEngine::onWriteCounter(unsigned level, std::uint64_t idx)
 {
     ctr::CounterScheme &scheme = tree_.level(level);
-    if (cfg_.enabled && level < levels_.size())
+    if (cfg_.enabled && level < levels_.size()) {
+        if (domain_resolver_)
+            levels_[level]->table->setActiveDomain(
+                domain_resolver_(level, idx));
         return levels_[level]->policy->onWrite(scheme, idx);
+    }
 
     // Baseline +1 (also used above the memoized levels under RMCC).
     const addr::CounterValue cur = scheme.read(idx);

@@ -5,6 +5,7 @@
 #include "dram/ddr4.hpp"
 #include "mc/secure_mc.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 
 namespace rmcc::fault
 {

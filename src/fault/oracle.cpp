@@ -116,8 +116,30 @@ std::uint64_t
 DetectionOracle::dataMac(addr::BlockId blk, const crypto::DataBlock &ct,
                          addr::CounterValue ctr) const
 {
-    return mac_.mac(ct, otp_->macOtp(addr::blockBase(blk),
-                                     ctr & crypto::kCounterMask));
+    return mac_.mac(ct, dataEngine(blk).macOtp(addr::blockBase(blk),
+                                               ctr & crypto::kCounterMask));
+}
+
+const crypto::OtpEngine &
+DetectionOracle::dataEngine(addr::BlockId blk) const
+{
+    if (cfg_.key_domain_shift == 0)
+        return *otp_;
+    const std::uint64_t domain = blk >> cfg_.key_domain_shift;
+    auto it = domain_otp_.find(domain);
+    if (it == domain_otp_.end()) {
+        const crypto::DomainKeys keys =
+            crypto::deriveDomainKeys(cfg_.key_seed, domain);
+        std::unique_ptr<crypto::OtpEngine> eng;
+        if (cfg_.split_otp)
+            eng = std::make_unique<crypto::RmccOtpEngine>(keys.enc,
+                                                          keys.mac);
+        else
+            eng = std::make_unique<crypto::BaselineOtpEngine>(keys.enc,
+                                                              keys.mac);
+        it = domain_otp_.emplace(domain, std::move(eng)).first;
+    }
+    return *it->second;
 }
 
 std::vector<addr::CounterBlockId>
@@ -179,7 +201,7 @@ DetectionOracle::refreshData(addr::BlockId blk, bool force)
     StoredData fresh;
     fresh.ctr = ctr;
     fresh.version = e.truth_version;
-    const crypto::BlockCodec codec(*otp_);
+    const crypto::BlockCodec codec(dataEngine(blk));
     fresh.ct =
         codec.encode(plaintext(blk, e.truth_version), addr::blockBase(blk),
                      ctr);
@@ -376,8 +398,17 @@ DetectionOracle::verifyRead(addr::BlockId blk, bool memo_hit)
     otp_ctrs[levels] = ctr_used & crypto::kCounterMask;
 
     std::vector<crypto::Block128> otps(levels + 1);
-    otp_->macOtps(otp_addrs.data(), otp_ctrs.data(), otps.data(),
-                  levels + 1);
+    if (cfg_.key_domain_shift == 0) {
+        otp_->macOtps(otp_addrs.data(), otp_ctrs.data(), otps.data(),
+                      levels + 1);
+    } else {
+        // Node MACs stay on the platform keys; the data slot's OTP comes
+        // from the block's tenant key domain and cannot share the batch.
+        otp_->macOtps(otp_addrs.data(), otp_ctrs.data(), otps.data(),
+                      levels);
+        otps[levels] = dataEngine(blk).macOtp(otp_addrs[levels],
+                                              otp_ctrs[levels]);
+    }
 
     // MAC chain, trust anchor downward: every node's tag is recomputed
     // over its *stored* values under the value its *stored* parent holds
@@ -404,7 +435,7 @@ DetectionOracle::verifyRead(addr::BlockId blk, bool memo_hit)
         v.fail_level = -1;
         return v;
     }
-    const crypto::BlockCodec codec(*otp_);
+    const crypto::BlockCodec codec(dataEngine(blk));
     const crypto::DataBlock pt =
         codec.encode(de.cur.ct, addr::blockBase(blk),
                      ctr_used & crypto::kCounterMask);

@@ -9,6 +9,7 @@
 #include "fault/oracle.hpp"
 #include "mc/secure_mc.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 
 namespace rmcc::fault
 {

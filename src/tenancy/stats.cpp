@@ -1,0 +1,108 @@
+#include "tenancy/stats.hpp"
+
+#include "counters/tree.hpp"
+#include "mc/secure_mc.hpp"
+
+namespace rmcc::tenancy
+{
+
+TenantAccountant::TenantAccountant(const sim::TenancyShape &shape,
+                                   std::uint64_t arena_blocks)
+    : tag_shift_(shape.tag_shift),
+      tenants_(shape.tenants),
+      arena_blocks_(arena_blocks),
+      tracked_(static_cast<std::size_t>(
+          shape.tenants < kMaxTracked ? shape.tenants : kMaxTracked)),
+      slots_(tracked_ + 1)
+{
+}
+
+TenantStats &
+TenantAccountant::slotOf(addr::Addr vaddr)
+{
+    const std::uint64_t t = vaddr >> tag_shift_;
+    return t < tracked_ ? slots_[static_cast<std::size_t>(t)]
+                        : slots_.back();
+}
+
+void
+TenantAccountant::onRead(addr::Addr vaddr, const mc::McReadResult &res,
+                         double latency_ns)
+{
+    TenantStats &s = slotOf(vaddr);
+    ++s.reads;
+    s.read_latency.add(latency_ns);
+    if (res.counter_miss) {
+        ++s.counter_misses;
+        if (res.memo_hit)
+            ++s.memo_hits;
+        if (res.accelerated)
+            ++s.accelerated;
+    }
+}
+
+void
+TenantAccountant::onWrite(addr::Addr vaddr)
+{
+    ++slotOf(vaddr).writes;
+}
+
+void
+TenantAccountant::onFinish(const mc::SecureMc &mc,
+                           const ctr::IntegrityTree &tree)
+{
+    if (arena_blocks_ == 0 || tree.levels() == 0)
+        return;
+    // Tenant t's L0 counter blocks cover exactly its arena's data
+    // blocks: both spans are powers of two and the arena floor exceeds
+    // the widest coverage, so the division is exact.
+    const unsigned cov0 = tree.level(0).coverage();
+    const std::uint64_t cbs_per_tenant = arena_blocks_ / cov0;
+    for (std::size_t t = 0; t < tracked_; ++t)
+        slots_[t].ctr_lines_resident = mc.counterLinesResident(
+            0, static_cast<addr::CounterBlockId>(t) * cbs_per_tenant,
+            cbs_per_tenant);
+}
+
+double
+TenantAccountant::jainFairness() const
+{
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t n = 0;
+    for (std::size_t t = 0; t < tracked_; ++t) {
+        const TenantStats &s = slots_[t];
+        if (s.reads == 0)
+            continue;
+        const double x = s.read_latency.mean();
+        sum += x;
+        sum_sq += x * x;
+        ++n;
+    }
+    if (n < 2 || sum_sq == 0.0)
+        return 1.0;
+    return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+void
+TenantAccountant::writeCsv(std::ostream &out, const std::string &cell,
+                           bool header) const
+{
+    if (header)
+        out << "cell,tenant,reads,writes,counter_misses,memo_hits,"
+               "accelerated,ctr_lines_resident,lat_p50,lat_p95,lat_p99,"
+               "lat_mean\n";
+    const auto row = [&](const std::string &id, const TenantStats &s) {
+        const obs::HistSummary h = s.read_latency.summary();
+        out << cell << ',' << id << ',' << s.reads << ',' << s.writes
+            << ',' << s.counter_misses << ',' << s.memo_hits << ','
+            << s.accelerated << ',' << s.ctr_lines_resident << ','
+            << h.p50 << ',' << h.p95 << ',' << h.p99 << ',' << h.mean
+            << '\n';
+    };
+    for (std::size_t t = 0; t < tracked_; ++t)
+        row(std::to_string(t), slots_[t]);
+    if (hasOverflow())
+        row("other", slots_.back());
+}
+
+} // namespace rmcc::tenancy

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-tenant accounting over a shared controller: the observability view
+ * the tenancy benchmarks emit.
+ *
+ * A TenantAccountant rides the functional simulator's ReplayObserver
+ * hooks and splits every memory-side event by the tenant tag in the
+ * record's virtual address: read/write counts, read-latency log2
+ * histograms (p50/p95/p99 per tenant), the memo lookup/hit split, and —
+ * under strict isolation — each tenant's resident share of the shared
+ * counter cache at end of replay.  Tracking is capped at kMaxTracked
+ * tenants plus one aggregate "other" slot so million-tenant mixes stay
+ * O(1) per event and bounded in memory; the hottest tenants are the low
+ * ids by construction (Zipf rank order), so the cap keeps exactly the
+ * tenants worth charting.
+ */
+#ifndef RMCC_TENANCY_STATS_HPP
+#define RMCC_TENANCY_STATS_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "sim/functional_sim.hpp"
+#include "tenancy/tenancy.hpp"
+
+namespace rmcc::tenancy
+{
+
+/** One tenant's (or the "other" aggregate's) view of the shared rig. */
+struct TenantStats
+{
+    std::uint64_t reads = 0;          //!< LLC-miss reads served.
+    std::uint64_t writes = 0;         //!< Writebacks attributed.
+    std::uint64_t counter_misses = 0; //!< Reads whose L0 counter missed.
+    std::uint64_t memo_hits = 0;      //!< Counter misses memo-served.
+    std::uint64_t accelerated = 0;    //!< Misses fully served by RMCC.
+    std::uint64_t ctr_lines_resident = 0; //!< Counter-cache lines at end.
+    obs::Log2Histogram read_latency;  //!< Read service latency, ns.
+};
+
+/**
+ * ReplayObserver splitting controller events per tenant.
+ */
+class TenantAccountant final : public sim::ReplayObserver
+{
+  public:
+    //! Tenants tracked individually; the rest pool into an "other" slot.
+    static constexpr std::size_t kMaxTracked = 64;
+
+    /**
+     * @param shape the run's tenancy shape (tag_shift keys the split).
+     * @param arena_blocks 64 B blocks per tenant arena (tenancy::
+     *        arenaBlocks); 0 disables the occupancy snapshot (shared
+     *        isolation has no per-tenant physical ranges).
+     */
+    TenantAccountant(const sim::TenancyShape &shape,
+                     std::uint64_t arena_blocks);
+
+    void onRead(addr::Addr vaddr, const mc::McReadResult &res,
+                double latency_ns) override;
+    void onWrite(addr::Addr vaddr) override;
+    void onFinish(const mc::SecureMc &mc,
+                  const ctr::IntegrityTree &tree) override;
+
+    /** Individually tracked tenants (excludes the "other" slot). */
+    std::size_t tracked() const { return tracked_; }
+
+    /** True when tenants beyond kMaxTracked pooled into "other". */
+    bool hasOverflow() const { return tenants_ > tracked_; }
+
+    /** Stats of tracked tenant t (t < tracked()). */
+    const TenantStats &tenant(std::size_t t) const { return slots_[t]; }
+
+    /** The aggregate slot (zeroed when !hasOverflow()). */
+    const TenantStats &other() const { return slots_.back(); }
+
+    /**
+     * Jain fairness index over the mean read latency of tracked tenants
+     * that served reads: 1.0 = perfectly even service quality, 1/n =
+     * one tenant absorbing all the latency.  1.0 when fewer than two
+     * tenants read.
+     */
+    double jainFairness() const;
+
+    /**
+     * Emit one CSV row per tracked tenant (plus "other"):
+     * cell,tenant,reads,writes,counter_misses,memo_hits,accelerated,
+     * ctr_lines_resident,lat_p50,lat_p95,lat_p99,lat_mean.
+     * @param header also emit the column-name row first.
+     */
+    void writeCsv(std::ostream &out, const std::string &cell,
+                  bool header) const;
+
+  private:
+    TenantStats &slotOf(addr::Addr vaddr);
+
+    unsigned tag_shift_;
+    std::uint64_t tenants_;
+    std::uint64_t arena_blocks_;
+    std::size_t tracked_;
+    std::vector<TenantStats> slots_; //!< tracked_ + 1 (last = "other").
+};
+
+} // namespace rmcc::tenancy
+
+#endif // RMCC_TENANCY_STATS_HPP

@@ -45,6 +45,16 @@ namespace rmcc::trace
 /** Bump when the record layout or header semantics change. */
 inline constexpr std::uint32_t kTraceFormatVersion = 1;
 
+/**
+ * Format version for delta-compressed files.  Same 128 B header, but the
+ * record region holds variable-length chunks: the first record of each
+ * chunk raw (8 B), then per record a zigzag-varint vaddr delta followed
+ * by a varint of (inst_gap << 1 | is_write).  The tail index stores
+ * {byte_len, checksum} per chunk (checksum over the *encoded* bytes, so
+ * corruption detection is as tight as v1) plus the index checksum.
+ */
+inline constexpr std::uint32_t kTraceFormatVersionDelta = 2;
+
 /** Endianness marker as written by the producing host. */
 inline constexpr std::uint32_t kTraceEndianMarker = 0x01020304;
 
@@ -54,6 +64,23 @@ inline constexpr std::uint64_t kTraceChunkRecords = 1ULL << 20;
 /** FNV-1a over a byte range (chunk and header checksums). */
 std::uint64_t fnv1aBytes(const void *data, std::size_t len,
                          std::uint64_t seed = 1469598103934665603ULL);
+
+/**
+ * Delta-encode one chunk of records (v2 format): first record raw, then
+ * zigzag-varint vaddr deltas + varint (inst_gap << 1 | is_write).
+ * Appends to `out` (cleared first).
+ */
+void deltaEncodeChunk(const Record *recs, std::size_t n,
+                      std::vector<std::uint8_t> &out);
+
+/**
+ * Decode a delta-encoded chunk into `out` (up to max_records).
+ * @return number of records decoded.
+ * @throws std::runtime_error on truncated/malformed encoding or when the
+ *         chunk holds more than max_records.
+ */
+std::size_t deltaDecodeChunk(const std::uint8_t *data, std::size_t len,
+                             Record *out, std::size_t max_records);
 
 /** On-disk file header; trivially copyable, 128 bytes. */
 struct FileHeader
@@ -98,7 +125,13 @@ struct SpillConfig
         Auto, //!< Spill only traces at/above threshold_records.
         On,   //!< Spill every trace.
     };
+    enum class Compress
+    {
+        Off,   //!< Fixed 8 B records (format v1).
+        Delta, //!< Zigzag-varint vaddr deltas per chunk (format v2).
+    };
     Mode mode = Mode::Off;
+    Compress compress = Compress::Off;  //!< RMCC_TRACE_COMPRESS.
     std::string dir;                    //!< Spill/cache directory.
     std::uint64_t window_records = kTraceChunkRecords;
     std::uint64_t threshold_records = 8ULL << 20; //!< Auto-mode cutoff.
@@ -113,8 +146,9 @@ struct SpillConfig
 
 /**
  * Parse RMCC_TRACE_SPILL / RMCC_TRACE_DIR / RMCC_TRACE_WINDOW_RECORDS /
- * RMCC_TRACE_SPILL_THRESHOLD.  Garbage values throw (std::runtime_error
- * naming the variable), matching every other RMCC_* knob.
+ * RMCC_TRACE_SPILL_THRESHOLD / RMCC_TRACE_COMPRESS.  Garbage values
+ * throw (std::runtime_error naming the variable), matching every other
+ * RMCC_* knob.
  */
 SpillConfig spillConfigFromEnv();
 
@@ -140,11 +174,13 @@ class TraceFileWriter final : public TraceSink
      * @param capacity generation cap, as TraceBuffer's constructor.
      * @param fingerprint workload identity (traceFingerprint()).
      * @param chunk_records records per chunk/checksum unit.
+     * @param delta write delta-compressed chunks (format v2).
      * @throws std::runtime_error when the file cannot be created.
      */
     TraceFileWriter(std::string path, std::uint64_t capacity,
                     std::uint64_t fingerprint,
-                    std::uint64_t chunk_records = kTraceChunkRecords);
+                    std::uint64_t chunk_records = kTraceChunkRecords,
+                    bool delta = false);
 
     /** Abandons (unlinks) the temporary file unless finalize() ran. */
     ~TraceFileWriter() override;
@@ -189,6 +225,7 @@ class TraceFileWriter final : public TraceSink
     std::uint64_t capacity_;
     std::uint64_t fingerprint_;
     std::uint64_t chunk_records_;
+    bool delta_;
     std::uint64_t count_ = 0;
     std::uint64_t total_insts_ = 0;
     std::uint64_t writes_ = 0;
@@ -208,6 +245,8 @@ class TraceFileWriter final : public TraceSink
     std::string io_error_ RMCC_GUARDED_BY(mu_);
     std::uint64_t bytes_written_ RMCC_GUARDED_BY(mu_) = 0;
     std::vector<std::uint64_t> chunk_checksums_ RMCC_GUARDED_BY(mu_);
+    //!< v2 only: encoded byte length per chunk, parallel to checksums.
+    std::vector<std::uint64_t> chunk_byte_lens_ RMCC_GUARDED_BY(mu_);
     std::thread writer_;
 };
 

@@ -13,7 +13,6 @@
 #define RMCC_UTIL_RNG_HPP
 
 #include <cstdint>
-#include <vector>
 
 namespace rmcc::util
 {
@@ -51,7 +50,8 @@ class Rng
     /**
      * Zipf-distributed rank in [0, n) with exponent s; used to give graph
      * workloads their power-law vertex popularity.  Uses precomputed CDF,
-     * so construct a ZipfSampler for hot loops instead.
+     * so construct a util::ZipfSampler (util/zipf.hpp) for hot loops
+     * instead.
      */
     std::uint64_t nextZipf(std::uint64_t n, double s);
 
@@ -60,35 +60,6 @@ class Rng
 
   private:
     std::uint64_t s_[4];
-};
-
-/**
- * Precomputed-CDF Zipf sampler.
- *
- * Draws invert the CDF for a uniform u.  A guide table narrows the
- * inversion to a handful of CDF entries before the binary search: entry k
- * holds lower_bound(cdf, k/K), so the search for u only scans
- * [guide[floor(u*K)], guide[floor(u*K)+1]].  This returns exactly what a
- * full-array lower_bound would (same rank for the same u, hence the same
- * stream for the same Rng) at a fraction of the cost — the full search
- * was the hot spot of power-law graph construction.
- */
-class ZipfSampler
-{
-  public:
-    /** Build the CDF for ranks [0, n) with exponent s (> 0). */
-    ZipfSampler(std::uint64_t n, double s);
-
-    /** Draw one Zipf-distributed rank using the supplied generator. */
-    std::uint64_t operator()(Rng &rng) const;
-
-    /** Number of ranks. */
-    std::uint64_t size() const { return cdf_.size(); }
-
-  private:
-    std::vector<double> cdf_;
-    std::vector<std::uint32_t> guide_; //!< K+1 lower-bound anchors.
-    double buckets_ = 0.0;             //!< K as a double, for u*K.
 };
 
 } // namespace rmcc::util

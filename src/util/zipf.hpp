@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Precomputed-CDF Zipf sampler, shared by workload generation, fault
+ * storms, and the tenancy traffic mixer.
+ *
+ * Hoisted out of the RNG module once tenant traffic shares needed the
+ * same guide-table trick as power-law graph construction: the sampler is
+ * a standalone object so hot loops build the CDF once and draw millions
+ * of ranks, while Rng::nextZipf stays as the convenience one-shot.
+ */
+#ifndef RMCC_UTIL_ZIPF_HPP
+#define RMCC_UTIL_ZIPF_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace rmcc::util
+{
+
+class Rng;
+
+/**
+ * Precomputed-CDF Zipf sampler.
+ *
+ * Draws invert the CDF for a uniform u.  A guide table narrows the
+ * inversion to a handful of CDF entries before the binary search: entry k
+ * holds lower_bound(cdf, k/K), so the search for u only scans
+ * [guide[floor(u*K)], guide[floor(u*K)+1]].  This returns exactly what a
+ * full-array lower_bound would (same rank for the same u, hence the same
+ * stream for the same Rng) at a fraction of the cost — the full search
+ * was the hot spot of power-law graph construction.
+ */
+class ZipfSampler
+{
+  public:
+    /** Build the CDF for ranks [0, n) with exponent s (> 0). */
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draw one Zipf-distributed rank using the supplied generator. */
+    std::uint64_t operator()(Rng &rng) const;
+
+    /** Probability mass of a single rank in [0, n). */
+    double mass(std::uint64_t rank) const;
+
+    /** Number of ranks. */
+    std::uint64_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+    std::vector<std::uint32_t> guide_; //!< K+1 lower-bound anchors.
+    double buckets_ = 0.0;             //!< K as a double, for u*K.
+};
+
+} // namespace rmcc::util
+
+#endif // RMCC_UTIL_ZIPF_HPP

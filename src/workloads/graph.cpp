@@ -13,6 +13,7 @@
 #include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 #include "util/thread_pool.hpp"
 
 #ifdef __unix__

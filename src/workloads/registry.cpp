@@ -168,7 +168,9 @@ generateTraceHandle(const Workload &w, std::size_t records,
     }
 
     {
-        trace::TraceFileWriter writer(path, records, fp);
+        trace::TraceFileWriter writer(
+            path, records, fp, trace::kTraceChunkRecords,
+            sc.compress == trace::SpillConfig::Compress::Delta);
         w.generate(writer, seed);
         writer.finalize();
     }

@@ -18,6 +18,7 @@
 #include "mc/secure_mc.hpp"
 #include "sim/functional_sim.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 #include "workloads/registry.hpp"
 
 using namespace rmcc;

@@ -15,6 +15,7 @@
 #include "util/bitvec.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/zipf.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -458,4 +459,56 @@ TEST(Table, Formatters)
 {
     EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
     EXPECT_EQ(fmtPercent(0.923, 1), "92.3%");
+}
+
+TEST(Zipf, DeterministicForEqualSeeds)
+{
+    // The sampler is pure (the Rng carries all the state): equal seeds
+    // must give identical rank streams — the property the tenant mixer's
+    // reproducibility rests on.
+    ZipfSampler zipf(1 << 20, 0.99);
+    Rng a(42), b(42), c(43);
+    bool diverged = false;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t ra = zipf(a);
+        EXPECT_EQ(ra, zipf(b));
+        diverged |= ra != zipf(c);
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Zipf, MassSumsToOneAndSteepensWithSkew)
+{
+    const ZipfSampler flat(64, 0.5), steep(64, 2.0);
+    double total = 0.0;
+    for (std::uint64_t r = 0; r < 64; ++r)
+        total += flat.mass(r);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // A larger exponent concentrates mass on the low ranks.
+    EXPECT_GT(steep.mass(0), flat.mass(0));
+    EXPECT_LT(steep.mass(63), flat.mass(63));
+    EXPECT_GT(flat.mass(0), flat.mass(1));
+}
+
+TEST(EnvParse, DoubleAcceptsPlainNumbersOnly)
+{
+    setenv("RMCC_TEST_ENV", "0.99", 1);
+    EXPECT_DOUBLE_EQ(*envDouble("RMCC_TEST_ENV"), 0.99);
+    EXPECT_DOUBLE_EQ(envDoubleOr("RMCC_TEST_ENV", 7.0), 0.99);
+    setenv("RMCC_TEST_ENV", "2", 1);
+    EXPECT_DOUBLE_EQ(*envDouble("RMCC_TEST_ENV"), 2.0);
+    unsetenv("RMCC_TEST_ENV");
+    EXPECT_EQ(envDouble("RMCC_TEST_ENV"), std::nullopt);
+    EXPECT_DOUBLE_EQ(envDoubleOr("RMCC_TEST_ENV", 7.0), 7.0);
+
+    for (const char *bad :
+         {"banana", "1.2banana", " 1.2", "-0.5", "+1", "inf", "nan"}) {
+        setenv("RMCC_TEST_ENV", bad, 1);
+        EXPECT_THROW(envDouble("RMCC_TEST_ENV"), std::runtime_error)
+            << "value '" << bad << "' should be rejected";
+        EXPECT_THROW(envDoubleOr("RMCC_TEST_ENV", 7.0),
+                     std::runtime_error)
+            << "fallback must not mask garbage '" << bad << "'";
+    }
+    unsetenv("RMCC_TEST_ENV");
 }
